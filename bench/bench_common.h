@@ -1,0 +1,48 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/simulation.h"
+
+namespace helcfl::bench {
+
+/// The evaluation setup of the paper's Section VII-A, with our documented
+/// substitutions (DESIGN.md): Q = 100 users, C = 0.1, J = 300 rounds,
+/// synthetic CIFAR-10, MLP, C_model = 4 Mb.
+inline sim::ExperimentConfig evaluation_config(bool noniid, std::uint64_t seed = 7) {
+  sim::ExperimentConfig config = sim::paper_config();
+  config.noniid = noniid;
+  config.trainer.max_rounds = 300;
+  config.trainer.eval_every = 5;
+  config.sl_eval_every = 25;
+  config.sl_eval_users = 10;
+  config.seed = seed;
+  return config;
+}
+
+/// Ensures ./bench_results exists and returns the CSV path inside it.
+inline std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results/" + name;
+}
+
+/// Runs one scheme of the evaluation setup and logs progress.
+inline sim::ExperimentResult run_scheme(sim::ExperimentConfig config,
+                                        sim::Scheme scheme) {
+  config.scheme = scheme;
+  std::printf("  running %-14s ...", sim::scheme_name(scheme).c_str());
+  std::fflush(stdout);
+  sim::ExperimentResult result = sim::run_experiment(config);
+  std::printf(" best=%.2f%%  delay=%s  energy=%s\n",
+              result.history.best_accuracy() * 100.0,
+              sim::format_minutes(result.history.total_delay_s()).c_str(),
+              sim::format_joules(result.history.total_energy_j()).c_str());
+  return result;
+}
+
+}  // namespace helcfl::bench

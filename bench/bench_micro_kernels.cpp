@@ -1,0 +1,163 @@
+// Micro-benchmarks (M1, DESIGN.md) of the numerical kernels behind the
+// training substrate: GEMM variants, convolution forward/backward, dense
+// layers, softmax cross-entropy, and a full MLP/CNN training step.
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace helcfl;
+using tensor::Shape;
+using tensor::Tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  std::vector<float> c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    tensor::gemm(n, n, n, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmABt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  std::vector<float> c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    tensor::gemm_a_bt(n, n, n, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmABt)->Arg(64);
+
+void BM_DenseForward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::Dense layer(192, 64, rng);
+  Tensor x(Shape{static_cast<std::size_t>(state.range(0)), 192});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    Tensor y = layer.forward(x, false);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_DenseForward)->Arg(1)->Arg(32)->Arg(128);
+
+void BM_DenseTrainStep(benchmark::State& state) {
+  util::Rng rng(4);
+  nn::Dense layer(192, 64, rng);
+  Tensor x(Shape{32, 192});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  Tensor dy(Shape{32, 64});
+  dy.fill(0.01F);
+  for (auto _ : state) {
+    layer.zero_grad();
+    Tensor y = layer.forward(x, true);
+    Tensor dx = layer.backward(dy);
+    benchmark::DoNotOptimize(dx.data().data());
+  }
+}
+BENCHMARK(BM_DenseTrainStep);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  util::Rng rng(5);
+  nn::Conv2D conv(3, 8, 3, 1, 1, rng);
+  Tensor x(Shape{static_cast<std::size_t>(state.range(0)), 3, 8, 8});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_Conv2DForward)->Arg(1)->Arg(32);
+
+void BM_Conv2DTrainStep(benchmark::State& state) {
+  util::Rng rng(6);
+  nn::Conv2D conv(3, 8, 3, 1, 1, rng);
+  Tensor x(Shape{8, 3, 8, 8});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  Tensor dy(Shape{8, 8, 8, 8});
+  dy.fill(0.01F);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor y = conv.forward(x, true);
+    Tensor dx = conv.backward(dy);
+    benchmark::DoNotOptimize(dx.data().data());
+  }
+}
+BENCHMARK(BM_Conv2DTrainStep);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  util::Rng rng(7);
+  Tensor logits(Shape{static_cast<std::size_t>(state.range(0)), 10});
+  logits.fill_normal(rng, 0.0F, 2.0F);
+  std::vector<std::int32_t> labels(state.range(0));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::int32_t>(i % 10);
+  }
+  for (auto _ : state) {
+    nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy)->Arg(32)->Arg(256);
+
+void BM_ModelTrainStep(benchmark::State& state) {
+  // One full-batch client update of the default experiment model on a
+  // 40-sample local dataset — the per-client unit of Algorithm 1 line 7.
+  util::Rng rng(8);
+  const nn::ImageSpec spec{3, 8, 8};
+  const auto kind = static_cast<nn::ModelKind>(state.range(0));
+  auto model = nn::make_model(kind, spec, 10, rng);
+  Tensor x(Shape{40, 3, 8, 8});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  std::vector<std::int32_t> labels(40);
+  for (std::size_t i = 0; i < 40; ++i) labels[i] = static_cast<std::int32_t>(i % 10);
+  nn::Sgd sgd({.learning_rate = 0.05F});
+  for (auto _ : state) {
+    model->zero_grad();
+    Tensor logits = model->forward(x, true);
+    nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+    model->backward(loss.grad_logits);
+    sgd.step(model->params());
+    benchmark::DoNotOptimize(loss.loss);
+  }
+  state.SetLabel(nn::model_kind_name(kind));
+}
+BENCHMARK(BM_ModelTrainStep)
+    ->Arg(static_cast<int>(nn::ModelKind::kMlp))
+    ->Arg(static_cast<int>(nn::ModelKind::kSmallCnn))
+    ->Arg(static_cast<int>(nn::ModelKind::kMiniSqueezeNet));
+
+void BM_ExtractLoadParameters(benchmark::State& state) {
+  util::Rng rng(9);
+  const nn::ImageSpec spec{3, 8, 8};
+  auto model = nn::make_mlp(spec, 64, 10, rng);
+  for (auto _ : state) {
+    std::vector<float> flat = nn::extract_parameters(*model);
+    nn::load_parameters(*model, flat);
+    benchmark::DoNotOptimize(flat.data());
+  }
+}
+BENCHMARK(BM_ExtractLoadParameters);
+
+}  // namespace

@@ -1,0 +1,105 @@
+// General-purpose experiment driver: every knob of ExperimentConfig on the
+// command line, summary on stdout, optional per-round CSV.
+//
+//   helcfl_cli [--scheme=helcfl|helcfl_nodvfs|classic|fedcs|fedl|sl]
+//              [--setting=iid|noniid] [--rounds=N] [--users=N] [--seed=N]
+//              [--fraction=C] [--eta=E] [--model=mlp|logistic|small_cnn|mini_squeezenet]
+//              [--lr=F] [--local-steps=N] [--batch-size=N]
+//              [--deadline-min=F] [--target-acc=F]
+//              [--battery-j=F] [--fading-sigma-db=F]
+//              [--compress=none|quantization|sparsification]
+//              [--quant-bits=N] [--keep-ratio=F]
+//              [--csv=path] [--quiet]
+//
+// Examples:
+//   helcfl_cli --scheme=helcfl --setting=noniid --rounds=300 --csv=run.csv
+//   helcfl_cli --scheme=classic --battery-j=20 --rounds=2000
+#include <cstdio>
+
+#include "sim/report.h"
+#include "sim/simulation.h"
+#include "util/args.h"
+#include "util/log.h"
+
+using namespace helcfl;
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  try {
+    sim::ExperimentConfig config = sim::paper_config();
+    config.scheme = sim::parse_scheme(args.get_or("scheme", "helcfl"));
+    const std::string setting = args.get_or("setting", "noniid");
+    if (setting != "iid" && setting != "noniid") {
+      throw std::invalid_argument("--setting must be iid or noniid");
+    }
+    config.noniid = setting == "noniid";
+    config.trainer.max_rounds =
+        static_cast<std::size_t>(args.get_int_or("rounds", 300));
+    config.n_users = static_cast<std::size_t>(args.get_int_or("users", 100));
+    config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 7));
+    config.fraction = args.get_double_or("fraction", config.fraction);
+    config.eta = args.get_double_or("eta", config.eta);
+    config.model = nn::parse_model_kind(args.get_or("model", "mlp"));
+    config.trainer.client.learning_rate = static_cast<float>(
+        args.get_double_or("lr", config.trainer.client.learning_rate));
+    config.trainer.client.local_steps = static_cast<std::size_t>(args.get_int_or(
+        "local-steps", static_cast<std::int64_t>(config.trainer.client.local_steps)));
+    config.trainer.client.batch_size = static_cast<std::size_t>(args.get_int_or(
+        "batch-size", static_cast<std::int64_t>(config.trainer.client.batch_size)));
+    const double deadline_min = args.get_double_or("deadline-min", 0.0);
+    if (deadline_min > 0.0) config.trainer.deadline_s = deadline_min * 60.0;
+    config.trainer.target_accuracy = args.get_double_or("target-acc", -1.0);
+    config.trainer.battery_capacity_j = args.get_double_or("battery-j", 0.0);
+    const double sigma_db = args.get_double_or("fading-sigma-db", 0.0);
+    if (sigma_db > 0.0) {
+      config.trainer.fading = {.enabled = true, .rho = 0.8, .sigma_db = sigma_db};
+    }
+    config.trainer.compression.kind =
+        nn::parse_compression_kind(args.get_or("compress", "none"));
+    config.trainer.compression.quantization_bits =
+        static_cast<unsigned>(args.get_int_or("quant-bits", 8));
+    config.trainer.compression.sparsify_keep_ratio =
+        args.get_double_or("keep-ratio", 0.1);
+    config.trainer.eval_every =
+        static_cast<std::size_t>(args.get_int_or("eval-every", 5));
+    const std::string csv_path = args.get_or("csv", "");
+    if (args.get_bool_or("quiet", false)) util::set_log_level(util::LogLevel::kWarn);
+
+    for (const auto& name : args.unused()) {
+      std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
+    }
+
+    const sim::ExperimentResult result = sim::run_experiment(config);
+
+    std::printf("scheme          %s\n", result.scheme.c_str());
+    std::printf("setting         %s, Q=%zu, C=%.2f, seed=%llu\n",
+                config.noniid ? "non-IID" : "IID", config.n_users, config.fraction,
+                static_cast<unsigned long long>(config.seed));
+    std::printf("rounds run      %zu\n", result.history.size());
+    std::printf("best accuracy   %s\n",
+                sim::format_percent(result.history.best_accuracy()).c_str());
+    std::printf("total delay     %s\n",
+                sim::format_minutes(result.history.total_delay_s()).c_str());
+    std::printf("total energy    %s\n",
+                sim::format_joules(result.history.total_energy_j()).c_str());
+    std::printf("fairness        %.3f\n",
+                result.history.selection_fairness(config.n_users));
+    if (config.trainer.battery_capacity_j > 0.0 && !result.history.empty()) {
+      std::printf("fleet alive     %zu / %zu devices at the end\n",
+                  result.history.back().alive_users, config.n_users);
+    }
+    for (const double target : {0.5, 0.58, 0.65}) {
+      std::printf("time to %2.0f%%     %s\n", target * 100.0,
+                  sim::format_minutes_or_x(result.history.time_to_accuracy(target))
+                      .c_str());
+    }
+    if (!csv_path.empty()) {
+      sim::write_history_csv(csv_path, result.history);
+      std::printf("per-round CSV   %s\n", csv_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

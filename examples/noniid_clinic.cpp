@@ -1,0 +1,125 @@
+// Non-IID clinic: diagnoses *why* greedy client selection caps accuracy on
+// non-IID data (the paper's Section V-A argument) using the partitioning
+// tools directly.
+//
+//  1. Compares class coverage per user under IID, sort-and-shard (the
+//     paper's scheme), and Dirichlet partitions.
+//  2. Shows which classes the fastest 10/20 devices jointly hold — the data
+//     FedCS can ever train on.
+//  3. Runs short FedCS vs HELCFL trainings on the same workload to connect
+//     coverage to the accuracy ceiling.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "data/partition.h"
+#include "data/synthetic_cifar.h"
+#include "sim/fleet.h"
+#include "sim/report.h"
+#include "sim/simulation.h"
+
+using namespace helcfl;
+
+namespace {
+
+void print_coverage(const char* name, const data::Partition& partition,
+                    std::span<const std::int32_t> labels, std::size_t n_classes) {
+  const auto coverage = data::classes_per_user(partition, labels, n_classes);
+  std::vector<std::size_t> histogram(n_classes + 1, 0);
+  for (const auto c : coverage) ++histogram[c];
+  const double mean = std::accumulate(coverage.begin(), coverage.end(), 0.0) /
+                      static_cast<double>(coverage.size());
+  std::printf("  %-14s mean classes/user = %4.1f   distribution:", name, mean);
+  for (std::size_t c = 0; c <= n_classes; ++c) {
+    if (histogram[c] > 0) std::printf("  %zu classes x%zu", c, histogram[c]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kUsers = 100;
+  constexpr std::size_t kClasses = 10;
+
+  util::Rng rng(41);
+  data::SyntheticCifarOptions dataset_options;
+  dataset_options.train_samples = 4000;
+  dataset_options.test_samples = 500;
+  const data::TrainTestSplit split = data::make_synthetic_cifar(dataset_options, rng);
+  const auto labels = split.train.labels();
+
+  std::printf("=== 1. class coverage per user under three partitioners ===\n");
+  util::Rng r1 = rng.fork(1);
+  const data::Partition iid = data::iid_partition(labels.size(), kUsers, r1);
+  print_coverage("IID", iid, labels, kClasses);
+
+  util::Rng r2 = rng.fork(2);
+  const data::Partition shard =
+      data::shard_noniid_partition(labels, kUsers, /*shards_per_user=*/4, r2);
+  print_coverage("shard (paper)", shard, labels, kClasses);
+
+  util::Rng r3 = rng.fork(3);
+  const data::Partition dirichlet =
+      data::dirichlet_partition(labels, kUsers, kClasses, /*alpha=*/0.3, r3);
+  print_coverage("dirichlet 0.3", dirichlet, labels, kClasses);
+
+  // 2. What data can a greedy scheme ever see?  Build the paper fleet and
+  // take the fastest users by total delay at f_max.
+  std::printf("\n=== 2. classes held by the fastest devices (FedCS's world) ===\n");
+  sim::ExperimentConfig config = sim::paper_config();
+  std::vector<std::size_t> samples;
+  for (const auto& slice : shard) samples.push_back(slice.size());
+  util::Rng fleet_rng = rng.fork(4);
+  const auto devices = sim::make_fleet(config, samples, fleet_rng);
+  const auto users = sched::build_user_info(devices, sim::make_channel(config),
+                                            config.trainer.model_size_bits);
+  std::vector<std::size_t> order(kUsers);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return users[a].total_delay_max_s() < users[b].total_delay_max_s();
+  });
+  for (const std::size_t cohort : {std::size_t{10}, std::size_t{20}, std::size_t{50}}) {
+    std::vector<bool> seen(kClasses, false);
+    std::size_t sample_count = 0;
+    for (std::size_t k = 0; k < cohort; ++k) {
+      for (const auto i : shard[order[k]]) {
+        seen[static_cast<std::size_t>(labels[i])] = true;
+        ++sample_count;
+      }
+    }
+    const auto classes =
+        static_cast<std::size_t>(std::count(seen.begin(), seen.end(), true));
+    // Per-class sample counts of the cohort, to expose the skew.
+    std::vector<std::size_t> per_class(kClasses, 0);
+    for (std::size_t k = 0; k < cohort; ++k) {
+      for (const auto i : shard[order[k]]) {
+        ++per_class[static_cast<std::size_t>(labels[i])];
+      }
+    }
+    const auto [min_it, max_it] = std::minmax_element(per_class.begin(), per_class.end());
+    std::printf("  fastest %3zu users: %zu/%zu classes, %4zu/%zu samples, "
+                "class skew %zu..%zu samples\n",
+                cohort, classes, kClasses, sample_count, labels.size(), *min_it,
+                *max_it);
+  }
+
+  // 3. Connect coverage to accuracy: short FedCS vs HELCFL runs.
+  std::printf("\n=== 3. the resulting accuracy ceiling (120 rounds, non-IID) ===\n");
+  config.noniid = true;
+  config.trainer.max_rounds = 120;
+  config.trainer.eval_every = 10;
+  config.seed = 41;
+  for (const auto scheme : {sim::Scheme::kFedCs, sim::Scheme::kHelcfl}) {
+    config.scheme = scheme;
+    const sim::ExperimentResult result = sim::run_experiment(config);
+    std::printf("  %-8s best accuracy %6.2f%%  (fairness %.3f)\n",
+                result.scheme.c_str(), result.history.best_accuracy() * 100.0,
+                result.history.selection_fairness(config.n_users));
+  }
+  std::printf("\nFedCS trains forever on the same fast cohort: a fixed ~10-20%% slice\n"
+              "of the data with heavily skewed class proportions (see the skew\n"
+              "column above), which caps its global accuracy. HELCFL's decay term\n"
+              "rotates slow users in, so every shard eventually contributes.\n");
+  return 0;
+}

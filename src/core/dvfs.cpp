@@ -1,0 +1,57 @@
+#include "core/dvfs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace helcfl::core {
+
+double FrequencyPlan::frequency_of(std::size_t user) const {
+  for (const auto& a : assignments) {
+    if (a.user == user) return a.frequency_hz;
+  }
+  throw std::out_of_range("FrequencyPlan: user " + std::to_string(user) +
+                          " not in plan");
+}
+
+FrequencyPlan determine_frequencies(const sched::FleetView& fleet,
+                                    std::span<const std::size_t> selected) {
+  FrequencyPlan plan;
+  if (selected.empty()) return plan;
+
+  // Line 1: ascending by model-update delay at maximum frequency.
+  std::vector<std::size_t> order(selected.begin(), selected.end());
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fleet.users[a].t_cal_max_s < fleet.users[b].t_cal_max_s;
+  });
+
+  plan.assignments.reserve(order.size());
+  double prev_total_s = 0.0;  // T_q of the previous user (its upload end)
+  for (std::size_t position = 0; position < order.size(); ++position) {
+    const std::size_t user = order[position];
+    const auto& info = fleet.users[user];
+    const auto& device = info.device;
+
+    FrequencyAssignment assignment;
+    assignment.user = user;
+    if (position == 0) {
+      // Lines 3-4: the first (fastest) user has no slack.
+      assignment.frequency_hz = device.f_max_hz;
+      assignment.compute_end_s = info.t_cal_max_s;
+    } else {
+      // Line 9: stretch computation to the predecessor's upload end,
+      // clamped into the DVFS range (constraint (15)).
+      const double f_ideal = device.total_cycles() / prev_total_s;
+      assignment.frequency_hz = device.clamp_frequency(f_ideal);
+      assignment.compute_end_s = device.total_cycles() / assignment.frequency_hz;
+    }
+    assignment.upload_start_s = std::max(assignment.compute_end_s, prev_total_s);
+    assignment.upload_end_s = assignment.upload_start_s + info.t_com_s;
+    prev_total_s = assignment.upload_end_s;  // line 8 for the next user
+
+    plan.assignments.push_back(assignment);
+  }
+  plan.round_delay_s = plan.assignments.back().upload_end_s;
+  return plan;
+}
+
+}  // namespace helcfl::core

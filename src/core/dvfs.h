@@ -1,0 +1,48 @@
+// Algorithm 3: DVFS-enabled operating frequency determination.
+//
+// Under TDMA the selected users upload one after another; a user whose
+// local update ends while the link is busy idles (Fig. 1).  Algorithm 3
+// removes that idle energy: users are sorted by compute delay at f_max, the
+// fastest runs at f_max, and each subsequent user's frequency is lowered so
+// its local update completes exactly when its predecessor's upload ends
+// (f_{q+1} = pi*|D_{q+1}| / T_q).  Because E^cal grows with f^2 (Eq. 5),
+// stretching computation into slack strictly saves energy while the round
+// delay is unchanged.
+//
+// Our implementation additionally clamps each derived frequency into the
+// device's DVFS range [f_min, f_max] (the paper's constraint (15)) and
+// propagates the chain with T_q = max(T^cal_q(f_q), T_{q-1}) + T^com_q so
+// the plan stays consistent when a clamp fires.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace helcfl::core {
+
+/// Result of a frequency determination for one selected user.
+struct FrequencyAssignment {
+  std::size_t user = 0;          ///< index into FleetView::users
+  double frequency_hz = 0.0;     ///< determined operating frequency
+  double compute_end_s = 0.0;    ///< T^cal at the determined frequency
+  double upload_start_s = 0.0;   ///< when this user's uplink grant begins
+  double upload_end_s = 0.0;     ///< upload_start + T^com
+};
+
+/// The full plan, in upload (ascending compute delay) order.
+struct FrequencyPlan {
+  std::vector<FrequencyAssignment> assignments;
+  double round_delay_s = 0.0;  ///< last upload end
+
+  /// The frequency assigned to fleet user `user`; throws if not in plan.
+  double frequency_of(std::size_t user) const;
+};
+
+/// Runs Algorithm 3 for `selected` (indices into `fleet`).
+FrequencyPlan determine_frequencies(const sched::FleetView& fleet,
+                                    std::span<const std::size_t> selected);
+
+}  // namespace helcfl::core

@@ -1,0 +1,54 @@
+#include "core/greedy_decay_selection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/utility.h"
+
+namespace helcfl::core {
+
+GreedyDecaySelector::GreedyDecaySelector(double fraction, double eta)
+    : fraction_(fraction), eta_(eta) {
+  if (eta <= 0.0 || eta >= 1.0) {
+    throw std::invalid_argument("GreedyDecaySelector: eta must be in (0, 1)");
+  }
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("GreedyDecaySelector: fraction must be in (0, 1]");
+  }
+}
+
+std::vector<std::size_t> GreedyDecaySelector::select(const sched::FleetView& fleet) {
+  const std::size_t q = fleet.users.size();
+  if (counters_.empty()) {
+    counters_.assign(q, 0);
+  } else if (counters_.size() != q) {
+    throw std::invalid_argument("GreedyDecaySelector: fleet size changed");
+  }
+
+  // Lines 8-10: utility of every selectable user (depleted devices are
+  // not in V' — battery extension).
+  const std::vector<std::size_t> alive = fleet.alive_indices();
+  if (alive.empty()) return {};
+  std::vector<double> utilities(q, 0.0);
+  for (const std::size_t i : alive) {
+    utilities[i] =
+        utility(counters_[i], fleet.users[i].t_cal_max_s, fleet.users[i].t_com_s, eta_);
+  }
+
+  // Lines 11-19: greedily take the top N by utility.  A full sort of an
+  // index array keeps ties deterministic (lower index wins).
+  const std::size_t n = std::min(sched::selection_count(q, fraction_), alive.size());
+  std::vector<std::size_t> order = alive;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return utilities[a] > utilities[b];
+  });
+  order.resize(n);
+
+  // Line 18: decay the selected users' future utility.
+  for (const std::size_t i : order) ++counters_[i];
+  return order;
+}
+
+void GreedyDecaySelector::reset() { counters_.clear(); }
+
+}  // namespace helcfl::core

@@ -1,0 +1,42 @@
+// Algorithm 2: greedy-decay heuristic user selection.
+//
+// Maintains an appearance counter per user across rounds; each round it
+// computes every user's Eq. (20) utility and greedily takes the top
+// N = max(Q*C, 1), incrementing the counters of those selected.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace helcfl::core {
+
+class GreedyDecaySelector {
+ public:
+  /// `fraction` is the user selection fraction C; `eta` the decay
+  /// coefficient of Eq. (20).
+  GreedyDecaySelector(double fraction, double eta);
+
+  /// Selects the round's user set and updates the appearance counters
+  /// (Algorithm 2 lines 8-19).  Counters are lazily sized to the fleet on
+  /// first call; the fleet size must not change across calls.
+  std::vector<std::size_t> select(const sched::FleetView& fleet);
+
+  /// Appearance counters alpha_q (empty before the first select()).
+  std::span<const std::size_t> appearance_counts() const { return counters_; }
+
+  /// Clears all counters (start of a fresh training run).
+  void reset();
+
+  double fraction() const { return fraction_; }
+  double eta() const { return eta_; }
+
+ private:
+  double fraction_;
+  double eta_;
+  std::vector<std::size_t> counters_;
+};
+
+}  // namespace helcfl::core

@@ -1,0 +1,35 @@
+#include "core/helcfl_scheduler.h"
+
+#include "core/dvfs.h"
+
+namespace helcfl::core {
+
+HelcflScheduler::HelcflScheduler(const HelcflOptions& options)
+    : options_(options), selector_(options.fraction, options.eta) {}
+
+sched::Decision HelcflScheduler::decide(const sched::FleetView& fleet,
+                                        std::size_t /*round*/) {
+  sched::Decision decision;
+  decision.selected = selector_.select(fleet);
+
+  decision.frequencies_hz.reserve(decision.selected.size());
+  if (options_.enable_dvfs) {
+    const FrequencyPlan plan = determine_frequencies(fleet, decision.selected);
+    for (const std::size_t user : decision.selected) {
+      decision.frequencies_hz.push_back(plan.frequency_of(user));
+    }
+  } else {
+    for (const std::size_t user : decision.selected) {
+      decision.frequencies_hz.push_back(fleet.users[user].device.f_max_hz);
+    }
+  }
+  return decision;
+}
+
+void HelcflScheduler::reset() { selector_.reset(); }
+
+std::string HelcflScheduler::name() const {
+  return options_.enable_dvfs ? "HELCFL" : "HELCFL-noDVFS";
+}
+
+}  // namespace helcfl::core

@@ -1,0 +1,35 @@
+// The HELCFL scheduler: Algorithm 2 (greedy-decay selection) followed by
+// Algorithm 3 (DVFS frequency determination), exposed through the common
+// SelectionStrategy interface so Algorithm 1 can drive it like any
+// baseline.
+#pragma once
+
+#include "core/greedy_decay_selection.h"
+#include "sched/scheduler.h"
+
+namespace helcfl::core {
+
+struct HelcflOptions {
+  double fraction = 0.1;  ///< user selection fraction C
+  double eta = 0.9;       ///< decay coefficient of Eq. (20)
+  bool enable_dvfs = true;  ///< false = run selected users at f_max
+                            ///< (the "w/o DVFS" arm of Fig. 3)
+};
+
+class HelcflScheduler : public sched::SelectionStrategy {
+ public:
+  explicit HelcflScheduler(const HelcflOptions& options);
+
+  sched::Decision decide(const sched::FleetView& fleet, std::size_t round) override;
+  void reset() override;
+  std::string name() const override;
+
+  const GreedyDecaySelector& selector() const { return selector_; }
+  const HelcflOptions& options() const { return options_; }
+
+ private:
+  HelcflOptions options_;
+  GreedyDecaySelector selector_;
+};
+
+}  // namespace helcfl::core

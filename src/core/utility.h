@@ -1,0 +1,26 @@
+// The utility function of HELCFL (Eq. 20 of the paper):
+//   u_q(alpha_q, T^cal, T^com) = eta^alpha_q * 1 / (T^cal + T^com)
+// with decay coefficient eta in (0, 1) and appearance counter alpha_q.
+//
+// Users with short training delay have high utility and are selected
+// preferentially; every selection increments alpha_q, multiplying future
+// utility by eta, so slow users eventually overtake and their data enters
+// training (the accuracy mechanism of Section V-A).
+#pragma once
+
+#include <cstddef>
+
+namespace helcfl::core {
+
+/// Evaluates Eq. (20).  Requires eta in (0, 1) and a positive total delay;
+/// throws std::invalid_argument otherwise.
+double utility(std::size_t appearance_count, double t_cal_s, double t_com_s,
+               double eta);
+
+/// Number of selections after which a user with total delay `fast_s` drops
+/// below a never-selected user with total delay `slow_s`:
+///   smallest a with eta^a / fast < 1 / slow.
+/// Useful for reasoning about catch-up latency; requires slow_s >= fast_s.
+std::size_t selections_until_overtaken(double fast_s, double slow_s, double eta);
+
+}  // namespace helcfl::core

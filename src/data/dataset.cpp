@@ -1,0 +1,72 @@
+#include "data/dataset.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace helcfl::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Dataset::Dataset(Tensor images, std::vector<std::int32_t> labels,
+                 std::size_t num_classes)
+    : images_(std::move(images)), labels_(std::move(labels)), num_classes_(num_classes) {
+  if (images_.shape().rank() != 4) {
+    throw std::invalid_argument("Dataset: images must be [N, C, H, W], got " +
+                                images_.shape().to_string());
+  }
+  if (images_.shape()[0] != labels_.size()) {
+    throw std::invalid_argument("Dataset: image/label count mismatch");
+  }
+  for (const auto label : labels_) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes_) {
+      throw std::invalid_argument("Dataset: label out of range");
+    }
+  }
+}
+
+nn::ImageSpec Dataset::spec() const {
+  return {images_.shape()[1], images_.shape()[2], images_.shape()[3]};
+}
+
+Batch Dataset::gather(std::span<const std::size_t> indices) const {
+  const std::size_t sample_size =
+      images_.shape()[1] * images_.shape()[2] * images_.shape()[3];
+  Batch batch;
+  batch.images = Tensor(Shape{indices.size(), images_.shape()[1], images_.shape()[2],
+                              images_.shape()[3]});
+  batch.labels.reserve(indices.size());
+  for (std::size_t out = 0; out < indices.size(); ++out) {
+    const std::size_t i = indices[out];
+    assert(i < size());
+    for (std::size_t j = 0; j < sample_size; ++j) {
+      batch.images[out * sample_size + j] = images_[i * sample_size + j];
+    }
+    batch.labels.push_back(labels_[i]);
+  }
+  return batch;
+}
+
+Batch Dataset::all() const {
+  Batch batch;
+  batch.images = images_;
+  batch.labels = labels_;
+  return batch;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> histogram(num_classes_, 0);
+  for (const auto label : labels_) ++histogram[static_cast<std::size_t>(label)];
+  return histogram;
+}
+
+std::vector<std::size_t> Dataset::class_histogram(
+    std::span<const std::size_t> indices) const {
+  std::vector<std::size_t> histogram(num_classes_, 0);
+  for (const std::size_t i : indices) {
+    ++histogram[static_cast<std::size_t>(labels_[i])];
+  }
+  return histogram;
+}
+
+}  // namespace helcfl::data

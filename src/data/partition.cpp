@@ -1,0 +1,162 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace helcfl::data {
+
+Partition iid_partition(std::size_t n_samples, std::size_t n_users, util::Rng& rng) {
+  if (n_users == 0) throw std::invalid_argument("iid_partition: n_users must be > 0");
+  std::vector<std::size_t> order = rng.permutation(n_samples);
+  Partition partition(n_users);
+  const std::size_t base = n_samples / n_users;
+  const std::size_t remainder = n_samples % n_users;
+  std::size_t cursor = 0;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    const std::size_t take = base + (u < remainder ? 1 : 0);
+    partition[u].assign(order.begin() + static_cast<std::ptrdiff_t>(cursor),
+                        order.begin() + static_cast<std::ptrdiff_t>(cursor + take));
+    cursor += take;
+  }
+  return partition;
+}
+
+Partition shard_noniid_partition(std::span<const std::int32_t> labels,
+                                 std::size_t n_users, std::size_t shards_per_user,
+                                 util::Rng& rng) {
+  if (n_users == 0 || shards_per_user == 0) {
+    throw std::invalid_argument("shard_noniid_partition: zero users or shards");
+  }
+  const std::size_t n_samples = labels.size();
+  const std::size_t n_shards = n_users * shards_per_user;
+  if (n_shards > n_samples) {
+    throw std::invalid_argument("shard_noniid_partition: more shards than samples");
+  }
+
+  // Sort sample indices by label (stable, so ties keep original order).
+  std::vector<std::size_t> order(n_samples);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return labels[a] < labels[b]; });
+
+  // Cut into contiguous shards (remainder spread over the first shards).
+  std::vector<std::pair<std::size_t, std::size_t>> shard_ranges;  // [begin, end)
+  shard_ranges.reserve(n_shards);
+  const std::size_t base = n_samples / n_shards;
+  const std::size_t remainder = n_samples % n_shards;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    const std::size_t take = base + (s < remainder ? 1 : 0);
+    shard_ranges.emplace_back(cursor, cursor + take);
+    cursor += take;
+  }
+
+  // Deal shards to users at random, shards_per_user each.
+  std::vector<std::size_t> shard_order = rng.permutation(n_shards);
+  Partition partition(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    for (std::size_t k = 0; k < shards_per_user; ++k) {
+      const auto [begin, end] = shard_ranges[shard_order[u * shards_per_user + k]];
+      for (std::size_t i = begin; i < end; ++i) partition[u].push_back(order[i]);
+    }
+  }
+  return partition;
+}
+
+Partition dirichlet_partition(std::span<const std::int32_t> labels,
+                              std::size_t n_users, std::size_t n_classes, double alpha,
+                              util::Rng& rng) {
+  if (n_users == 0) throw std::invalid_argument("dirichlet_partition: n_users == 0");
+  if (alpha <= 0.0) throw std::invalid_argument("dirichlet_partition: alpha <= 0");
+
+  // Group sample indices by class.
+  std::vector<std::vector<std::size_t>> by_class(n_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+
+  Partition partition(n_users);
+  for (std::size_t k = 0; k < n_classes; ++k) {
+    auto& pool = by_class[k];
+    rng.shuffle(std::span<std::size_t>(pool));
+
+    // Draw Dirichlet weights via normalized Gamma(alpha, 1) samples.
+    // Gamma sampled with the Marsaglia-Tsang method (alpha boosted by 1 for
+    // alpha < 1, with the standard correction factor).
+    std::vector<double> weights(n_users, 0.0);
+    double total = 0.0;
+    for (auto& weight : weights) {
+      const double boosted_alpha = alpha < 1.0 ? alpha + 1.0 : alpha;
+      const double d = boosted_alpha - 1.0 / 3.0;
+      const double c = 1.0 / std::sqrt(9.0 * d);
+      double sample = 0.0;
+      for (;;) {
+        double x = rng.normal();
+        double v = 1.0 + c * x;
+        if (v <= 0.0) continue;
+        v = v * v * v;
+        const double u = rng.uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x ||
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+          sample = d * v;
+          break;
+        }
+      }
+      if (alpha < 1.0) sample *= std::pow(rng.uniform(), 1.0 / alpha);
+      weight = sample;
+      total += weight;
+    }
+
+    // Convert weights to sample counts (largest remainders get the leftovers).
+    std::size_t assigned = 0;
+    std::vector<std::size_t> counts(n_users, 0);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      counts[u] = static_cast<std::size_t>(
+          std::floor(weights[u] / total * static_cast<double>(pool.size())));
+      assigned += counts[u];
+    }
+    std::size_t u = 0;
+    while (assigned < pool.size()) {
+      ++counts[u % n_users];
+      ++assigned;
+      ++u;
+    }
+
+    std::size_t cursor = 0;
+    for (std::size_t user = 0; user < n_users; ++user) {
+      for (std::size_t i = 0; i < counts[user]; ++i) {
+        partition[user].push_back(pool[cursor++]);
+      }
+    }
+  }
+  return partition;
+}
+
+std::vector<std::size_t> classes_per_user(const Partition& partition,
+                                          std::span<const std::int32_t> labels,
+                                          std::size_t n_classes) {
+  std::vector<std::size_t> result;
+  result.reserve(partition.size());
+  for (const auto& slice : partition) {
+    std::vector<bool> seen(n_classes, false);
+    for (const std::size_t i : slice) seen[static_cast<std::size_t>(labels[i])] = true;
+    result.push_back(static_cast<std::size_t>(
+        std::count(seen.begin(), seen.end(), true)));
+  }
+  return result;
+}
+
+bool is_exact_cover(const Partition& partition, std::size_t n_samples) {
+  std::vector<std::size_t> hits(n_samples, 0);
+  for (const auto& slice : partition) {
+    for (const std::size_t i : slice) {
+      if (i >= n_samples) return false;
+      ++hits[i];
+    }
+  }
+  return std::all_of(hits.begin(), hits.end(), [](std::size_t h) { return h == 1; });
+}
+
+}  // namespace helcfl::data

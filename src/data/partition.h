@@ -1,0 +1,48 @@
+// Partitioning a training set across FL users.
+//
+// The paper evaluates two regimes (Section VII-A):
+//   * IID: "training samples are randomly shuffled and evenly assigned";
+//   * Non-IID: "training samples are sorted by labels and cut into 400
+//     pieces, and each four pieces are assigned a user" — the classic
+//     McMahan et al. shard scheme.
+// A Dirichlet partitioner is provided as an extension for ablations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace helcfl::data {
+
+/// Per-user lists of sample indices into the training set.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Random shuffle, then contiguous equal chunks (remainder spread over the
+/// first users).  Every sample is assigned exactly once.
+Partition iid_partition(std::size_t n_samples, std::size_t n_users, util::Rng& rng);
+
+/// Sort-by-label shard partition: indices sorted by label, cut into
+/// n_users * shards_per_user shards, and each user receives
+/// shards_per_user randomly chosen shards.  With shards_per_user smaller
+/// than the class count each user sees only a few classes.
+Partition shard_noniid_partition(std::span<const std::int32_t> labels,
+                                 std::size_t n_users, std::size_t shards_per_user,
+                                 util::Rng& rng);
+
+/// Dirichlet(alpha) label-skew partition (extension; not in the paper).
+/// Smaller alpha = more skew.  Every sample is assigned exactly once.
+Partition dirichlet_partition(std::span<const std::int32_t> labels,
+                              std::size_t n_users, std::size_t n_classes, double alpha,
+                              util::Rng& rng);
+
+/// Number of distinct labels present in each user's slice.
+std::vector<std::size_t> classes_per_user(const Partition& partition,
+                                          std::span<const std::int32_t> labels,
+                                          std::size_t n_classes);
+
+/// Sanity check: each index in [0, n_samples) appears exactly once.
+bool is_exact_cover(const Partition& partition, std::size_t n_samples);
+
+}  // namespace helcfl::data

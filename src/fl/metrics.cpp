@@ -1,0 +1,61 @@
+#include "fl/metrics.h"
+
+#include <algorithm>
+
+namespace helcfl::fl {
+
+void TrainingHistory::add(RoundRecord record) { rounds_.push_back(std::move(record)); }
+
+double TrainingHistory::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& r : rounds_) {
+    if (r.evaluated) best = std::max(best, r.test_accuracy);
+  }
+  return best;
+}
+
+std::optional<double> TrainingHistory::time_to_accuracy(double target) const {
+  for (const auto& r : rounds_) {
+    if (r.evaluated && r.test_accuracy >= target) return r.cum_delay_s;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> TrainingHistory::energy_to_accuracy(double target) const {
+  for (const auto& r : rounds_) {
+    if (r.evaluated && r.test_accuracy >= target) return r.cum_energy_j;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> TrainingHistory::selection_counts(std::size_t n_users) const {
+  std::vector<std::size_t> counts(n_users, 0);
+  for (const auto& r : rounds_) {
+    for (const std::size_t user : r.selected) {
+      if (user < n_users) ++counts[user];
+    }
+  }
+  return counts;
+}
+
+std::optional<std::size_t> TrainingHistory::round_of_first_depletion(
+    std::size_t n_users) const {
+  for (const auto& r : rounds_) {
+    if (r.alive_users < n_users) return r.round;
+  }
+  return std::nullopt;
+}
+
+double TrainingHistory::selection_fairness(std::size_t n_users) const {
+  const auto counts = selection_counts(n_users);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const std::size_t c : counts) {
+    sum += static_cast<double>(c);
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(n_users) * sum_sq);
+}
+
+}  // namespace helcfl::fl

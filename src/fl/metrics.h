@@ -1,0 +1,69 @@
+// Per-round records and training history with the probes used by the
+// paper's evaluation: best accuracy (Fig. 2), delay to desired accuracy
+// (Table I), and energy to desired accuracy (Fig. 3).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace helcfl::fl {
+
+/// Everything recorded about one training round.
+struct RoundRecord {
+  std::size_t round = 0;          ///< 0-based round index j
+  std::vector<std::size_t> selected;  ///< Γ_j
+  double round_delay_s = 0.0;     ///< T_Γj (Eq. 10, TDMA timeline)
+  double round_energy_j = 0.0;    ///< E_Γj (Eq. 11)
+  double cum_delay_s = 0.0;       ///< Σ T up to and including this round
+  double cum_energy_j = 0.0;      ///< Σ E up to and including this round
+  double train_loss = 0.0;        ///< mean pre-step loss over selected clients
+  bool evaluated = false;         ///< whether test metrics were computed
+  double test_loss = 0.0;
+  double test_accuracy = 0.0;     ///< in [0, 1]
+  std::size_t alive_users = 0;    ///< devices with charge left after this
+                                  ///< round (battery extension; equals the
+                                  ///< fleet size when batteries are off)
+};
+
+/// Full training trace plus summary probes.
+class TrainingHistory {
+ public:
+  void add(RoundRecord record);
+
+  const std::vector<RoundRecord>& rounds() const { return rounds_; }
+  bool empty() const { return rounds_.empty(); }
+  std::size_t size() const { return rounds_.size(); }
+  const RoundRecord& back() const { return rounds_.back(); }
+
+  /// Highest evaluated test accuracy (0 if never evaluated).
+  double best_accuracy() const;
+
+  /// Cumulative delay at the first evaluated round reaching `target`
+  /// accuracy; nullopt if the run never got there (the paper's "X").
+  std::optional<double> time_to_accuracy(double target) const;
+
+  /// Cumulative energy at the first evaluated round reaching `target`.
+  std::optional<double> energy_to_accuracy(double target) const;
+
+  /// Total selections of each user over the run (`n_users` sizes the
+  /// result; selections beyond the range are ignored).
+  std::vector<std::size_t> selection_counts(std::size_t n_users) const;
+
+  /// Jain's fairness index of the selection counts, in (0, 1];
+  /// 1 = perfectly even participation.
+  double selection_fairness(std::size_t n_users) const;
+
+  /// First round after which fewer than `n_users` devices remained alive
+  /// (battery extension); nullopt if the fleet never lost a device.
+  std::optional<std::size_t> round_of_first_depletion(std::size_t n_users) const;
+
+  double total_delay_s() const { return rounds_.empty() ? 0.0 : rounds_.back().cum_delay_s; }
+  double total_energy_j() const { return rounds_.empty() ? 0.0 : rounds_.back().cum_energy_j; }
+
+ private:
+  std::vector<RoundRecord> rounds_;
+};
+
+}  // namespace helcfl::fl

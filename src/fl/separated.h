@@ -1,0 +1,39 @@
+// SL baseline (Ahn et al. [4] as used in the paper's Section VII): each
+// user trains its own model on its own data, with no aggregation and no
+// model uploads.  The reported accuracy is the sample-weighted mean of the
+// per-user models' test accuracy, which saturates far below FL because
+// every model only ever sees one user's data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "fl/client.h"
+#include "fl/metrics.h"
+#include "mec/device.h"
+#include "nn/sequential.h"
+
+namespace helcfl::fl {
+
+struct SeparatedOptions {
+  std::size_t max_rounds = 300;
+  ClientOptions client;
+  std::size_t eval_every = 10;      ///< evaluation is expensive: Q models
+  std::size_t eval_user_sample = 0; ///< 0 = evaluate all users, else a fixed
+                                    ///< random subset of this size
+  std::size_t eval_batch = 256;
+  std::uint64_t seed = 1;
+};
+
+/// Trains all users' separate models round by round.  Round delay is the
+/// slowest user's compute time (everyone computes in parallel, nothing is
+/// uploaded); round energy is the sum of compute energies at f_max.
+TrainingHistory train_separated(nn::Sequential& model, const data::Dataset& train,
+                                const data::Dataset& test,
+                                const data::Partition& partition,
+                                std::span<const mec::Device> devices,
+                                const SeparatedOptions& options);
+
+}  // namespace helcfl::fl

@@ -1,0 +1,64 @@
+#include "fl/server.h"
+
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "nn/serialize.h"
+
+namespace helcfl::fl {
+
+std::vector<float> fedavg(std::span<const WeightedModel> uploads) {
+  if (uploads.empty()) throw std::invalid_argument("fedavg: no uploads");
+  const std::size_t dim = uploads.front().weights.size();
+  double total_samples = 0.0;
+  for (const auto& upload : uploads) {
+    if (upload.weights.size() != dim) {
+      throw std::invalid_argument("fedavg: weight dimension mismatch");
+    }
+    total_samples += static_cast<double>(upload.num_samples);
+  }
+  if (total_samples <= 0.0) {
+    throw std::invalid_argument("fedavg: total sample count must be positive");
+  }
+
+  // Accumulate in double to keep aggregation exact for Eq. (19) checks.
+  std::vector<double> accumulator(dim, 0.0);
+  for (const auto& upload : uploads) {
+    const double w = static_cast<double>(upload.num_samples) / total_samples;
+    for (std::size_t i = 0; i < dim; ++i) {
+      accumulator[i] += w * static_cast<double>(upload.weights[i]);
+    }
+  }
+  std::vector<float> result(dim);
+  for (std::size_t i = 0; i < dim; ++i) result[i] = static_cast<float>(accumulator[i]);
+  return result;
+}
+
+Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
+                    const data::Dataset& dataset, std::size_t batch_size) {
+  if (dataset.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+  if (batch_size == 0) batch_size = dataset.size();
+  nn::load_parameters(model, weights);
+
+  double total_loss = 0.0;
+  std::size_t total_correct = 0;
+  std::vector<std::size_t> indices;
+  for (std::size_t begin = 0; begin < dataset.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, dataset.size());
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+    const data::Batch batch = dataset.gather(indices);
+    const tensor::Tensor logits = model.forward(batch.images, /*training=*/false);
+    const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
+    total_loss += loss.loss * static_cast<double>(batch.size());
+    total_correct += loss.correct;
+  }
+
+  Evaluation eval;
+  eval.loss = total_loss / static_cast<double>(dataset.size());
+  eval.accuracy =
+      static_cast<double>(total_correct) / static_cast<double>(dataset.size());
+  return eval;
+}
+
+}  // namespace helcfl::fl

@@ -1,0 +1,36 @@
+// Server-side (FLCC) operations: FedAvg aggregation (Eq. 18) and global
+// model evaluation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace helcfl::fl {
+
+/// One uploaded model with its FedAvg weight |D_q|.
+struct WeightedModel {
+  std::span<const float> weights;
+  std::size_t num_samples = 0;
+};
+
+/// FedAvg (Eq. 18): sample-count-weighted average of the uploaded models.
+/// All weight vectors must have equal length and the total sample count
+/// must be positive.
+std::vector<float> fedavg(std::span<const WeightedModel> uploads);
+
+/// Evaluation result of a model on a dataset.
+struct Evaluation {
+  double loss = 0.0;
+  double accuracy = 0.0;  ///< fraction correct in [0, 1]
+};
+
+/// Evaluates `model` (with `weights` loaded) on `dataset`, batched to bound
+/// peak memory.  Leaves `weights` loaded in the model.
+Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
+                    const data::Dataset& dataset, std::size_t batch_size = 256);
+
+}  // namespace helcfl::fl

@@ -1,0 +1,218 @@
+#include "fl/trainer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fl/server.h"
+#include "mec/cost_model.h"
+#include "mec/tdma.h"
+#include "nn/serialize.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace helcfl::fl {
+
+FederatedTrainer::FederatedTrainer(nn::Sequential& model, const data::Dataset& train,
+                                   const data::Dataset& test,
+                                   const data::Partition& partition,
+                                   std::span<const mec::Device> devices,
+                                   const mec::Channel& channel,
+                                   sched::SelectionStrategy& strategy,
+                                   TrainerOptions options)
+    : model_(model),
+      test_(test),
+      devices_(devices),
+      channel_(channel),
+      strategy_(strategy),
+      options_(options) {
+  if (devices.size() != partition.size()) {
+    throw std::invalid_argument("FederatedTrainer: device/partition size mismatch");
+  }
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (devices[i].num_samples != partition[i].size()) {
+      throw std::invalid_argument(
+          "FederatedTrainer: device " + std::to_string(i) + " declares " +
+          std::to_string(devices[i].num_samples) + " samples but partition has " +
+          std::to_string(partition[i].size()));
+    }
+  }
+
+  // Initialization phase (Algorithm 1 lines 1-2): the FLCC learns every
+  // device's resource information and derives the delays.
+  users_ = sched::build_user_info(devices, channel_, options_.model_size_bits);
+
+  // Gather each user's local data once; rounds reuse the cached batches.
+  user_data_.reserve(partition.size());
+  for (const auto& indices : partition) {
+    user_data_.push_back(train.gather(indices));
+  }
+
+  if (options_.battery_capacity_j > 0.0) {
+    batteries_ = mec::BatteryFleet(devices.size(), options_.battery_capacity_j);
+  }
+}
+
+TrainingHistory FederatedTrainer::run() {
+  strategy_.reset();
+  const bool batteries_enabled = batteries_.size() > 0;
+  util::Rng batch_rng(options_.seed);
+  mec::FadingProcess fading(users_.size(), options_.fading,
+                            util::Rng(options_.seed).fork(0xFAD1A6));
+
+  std::vector<float> global_weights = nn::extract_parameters(model_);
+  TrainingHistory history;
+  double cum_delay = 0.0;
+  double cum_energy = 0.0;
+
+  for (std::size_t round = 0; round < options_.max_rounds; ++round) {
+    if (batteries_enabled && batteries_.alive_count() == 0) {
+      util::log_info("FederatedTrainer: whole fleet depleted after round " +
+                     std::to_string(round));
+      break;
+    }
+
+    // Line 4: select users and determine their frequencies.  With the
+    // battery extension the strategy only sees surviving devices; with
+    // fading it ranks users by the (stale) delays of the init phase.
+    sched::FleetView fleet{users_};
+    if (batteries_enabled) fleet.alive = batteries_.alive_mask();
+    const sched::Decision decision = strategy_.decide(fleet, round);
+    if (decision.selected.empty()) {
+      util::log_info("FederatedTrainer: strategy returned no users; stopping");
+      break;
+    }
+    if (decision.selected.size() != decision.frequencies_hz.size()) {
+      throw std::logic_error("FederatedTrainer: strategy returned a bad decision");
+    }
+
+    fading.step();
+
+    // Lines 6-9: local updates in parallel, uploads serialized by TDMA.
+    std::vector<ClientUpdate> updates;
+    std::vector<double> compute_delays;
+    std::vector<double> upload_durations;
+    std::vector<double> user_energies;
+    std::vector<double> client_losses;
+    double round_energy = 0.0;
+    double train_loss_sum = 0.0;
+    updates.reserve(decision.selected.size());
+    for (std::size_t k = 0; k < decision.selected.size(); ++k) {
+      const std::size_t user = decision.selected[k];
+      const double f = decision.frequencies_hz[k];
+      if (batteries_enabled && !batteries_.is_alive(user)) {
+        throw std::logic_error("FederatedTrainer: strategy selected a dead device");
+      }
+      const mec::Device& device = devices_[user];
+      if (f < device.f_min_hz - 1e-6 || f > device.f_max_hz + 1e-6) {
+        throw std::logic_error("FederatedTrainer: frequency outside DVFS range");
+      }
+
+      util::Rng client_rng = batch_rng.fork(round * users_.size() + user);
+      ClientUpdate update = local_update(model_, global_weights, user_data_[user],
+                                         options_.client, client_rng);
+      train_loss_sum += update.train_loss;
+      client_losses.push_back(update.train_loss);
+
+      // Upload compression decides what the server integrates and scales
+      // the simulated payload: C_model is a config knob decoupled from the
+      // trained model's true size (DESIGN.md), so the wire size entering
+      // Eq. (7) is C_model times the compression ratio achieved on the
+      // real weight vector.
+      const nn::CompressedModel compressed =
+          nn::compress(update.weights, options_.compression);
+      const double compression_ratio =
+          static_cast<double>(compressed.wire_bits) /
+          (32.0 * static_cast<double>(update.weights.size()));
+      const double wire_bits = options_.model_size_bits * compression_ratio;
+      update.weights = std::move(compressed.reconstructed);
+      updates.push_back(std::move(update));
+
+      // Fading perturbs this round's actual channel gain; strategies only
+      // knew the init-time value.
+      mec::Device faded = device;
+      faded.channel_gain_sq *= fading.multiplier(user);
+
+      compute_delays.push_back(mec::compute_delay_s(device, f));
+      upload_durations.push_back(mec::upload_delay_s(faded, channel_, wire_bits));
+      const double user_energy =
+          mec::compute_energy_j(device, f) +
+          mec::upload_energy_j(faded, channel_, wire_bits);
+      user_energies.push_back(user_energy);
+      round_energy += user_energy;
+    }
+    const mec::TdmaSchedule schedule =
+        mec::schedule_uploads(compute_delays, upload_durations);
+
+    // Line 10: FedAvg integration (Eq. 18).
+    std::vector<WeightedModel> uploads;
+    uploads.reserve(updates.size());
+    for (const auto& update : updates) {
+      uploads.push_back({update.weights, update.num_samples});
+    }
+    global_weights = fedavg(uploads);
+    strategy_.observe(round, decision, client_losses);
+
+    if (batteries_enabled) {
+      for (std::size_t k = 0; k < decision.selected.size(); ++k) {
+        batteries_.drain(decision.selected[k], user_energies[k]);
+      }
+    }
+
+    cum_delay += schedule.round_delay_s;
+    cum_energy += round_energy;
+
+    RoundRecord record;
+    record.round = round;
+    record.selected = decision.selected;
+    record.round_delay_s = schedule.round_delay_s;
+    record.round_energy_j = round_energy;
+    record.cum_delay_s = cum_delay;
+    record.cum_energy_j = cum_energy;
+    record.train_loss = train_loss_sum / static_cast<double>(updates.size());
+    record.alive_users =
+        batteries_enabled ? batteries_.alive_count() : users_.size();
+
+    const bool last_round = round + 1 == options_.max_rounds;
+    const bool over_deadline = cum_delay > options_.deadline_s;
+    if (round % options_.eval_every == 0 || last_round || over_deadline) {
+      const Evaluation eval =
+          evaluate(model_, global_weights, test_, options_.eval_batch);
+      record.evaluated = true;
+      record.test_loss = eval.loss;
+      record.test_accuracy = eval.accuracy;
+    }
+    const bool target_reached = record.evaluated && options_.target_accuracy >= 0.0 &&
+                                record.test_accuracy >= options_.target_accuracy;
+    history.add(std::move(record));
+
+    if (over_deadline) {
+      util::log_info("FederatedTrainer: deadline reached after round " +
+                     std::to_string(round));
+      break;
+    }
+    if (target_reached) break;
+
+    // Algorithm 1's convergence exit: the training-loss spread over the
+    // last `window` rounds has flattened out.
+    if (options_.convergence_window >= 2 &&
+        history.size() >= options_.convergence_window) {
+      double lo = history.rounds()[history.size() - 1].train_loss;
+      double hi = lo;
+      for (std::size_t k = 2; k <= options_.convergence_window; ++k) {
+        const double loss = history.rounds()[history.size() - k].train_loss;
+        lo = std::min(lo, loss);
+        hi = std::max(hi, loss);
+      }
+      if (hi - lo < options_.convergence_epsilon) {
+        util::log_info("FederatedTrainer: converged after round " +
+                       std::to_string(round));
+        break;
+      }
+    }
+  }
+
+  nn::load_parameters(model_, global_weights);
+  return history;
+}
+
+}  // namespace helcfl::fl

@@ -1,0 +1,93 @@
+// Algorithm 1: the HELCFL training loop (also drives every baseline via
+// the SelectionStrategy interface).
+//
+// Each round:  strategy picks Γ_j and F_Γj (line 4)  ->  selected clients
+// update locally at their determined frequencies (line 7)  ->  uploads are
+// serialized on the TDMA uplink (line 8, Fig. 1)  ->  FedAvg integration
+// (line 10)  ->  delay/energy accounting via Eqs. (10)-(11) and the
+// deadline check of constraint (14).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "fl/client.h"
+#include "fl/metrics.h"
+#include "mec/battery.h"
+#include "mec/channel.h"
+#include "mec/device.h"
+#include "mec/fading.h"
+#include "nn/compression.h"
+#include "nn/sequential.h"
+#include "sched/scheduler.h"
+
+namespace helcfl::fl {
+
+struct TrainerOptions {
+  std::size_t max_rounds = 300;  ///< J
+  double deadline_s = std::numeric_limits<double>::infinity();  ///< constraint (14)
+  ClientOptions client;
+  std::size_t eval_every = 1;    ///< evaluate global model every k rounds
+  std::size_t eval_batch = 256;
+  double model_size_bits = 4e6;  ///< C_model of Eq. (7)
+  std::uint64_t seed = 1;        ///< mini-batch sampling stream
+  double target_accuracy = -1.0; ///< stop early once reached (< 0 = never)
+
+  /// Algorithm 1's convergence exit: after each round the FLCC checks
+  /// whether the global model has converged.  With window >= 2, training
+  /// stops once the spread (max - min) of the last `window` rounds' mean
+  /// training losses falls below `epsilon`.  window = 0 disables the check.
+  std::size_t convergence_window = 0;
+  double convergence_epsilon = 1e-3;
+
+  // --- extensions (DESIGN.md §6); all off by default ---
+  /// Per-device energy budget in joules; <= 0 = mains powered.  Depleted
+  /// devices leave the selectable fleet; training stops when nobody is
+  /// left.
+  double battery_capacity_j = 0.0;
+  /// Gauss-Markov channel fading.  When enabled, each round's actual
+  /// upload delay/energy use the faded gain while strategies keep ranking
+  /// users by the delays reported at initialization (stale information).
+  mec::FadingOptions fading;
+  /// Lossy upload compression: shrinks the wire size entering Eq. (7) and
+  /// feeds the *reconstructed* weights into FedAvg.
+  nn::CompressionOptions compression;
+};
+
+/// Synchronous FL trainer over a simulated MEC fleet.
+///
+/// The model, datasets, devices, channel and strategy are borrowed and must
+/// outlive the trainer.  `devices[i].num_samples` must equal
+/// `partition[i].size()` so the delay/energy models and FedAvg weighting
+/// agree (Eq. 4 vs Eq. 18).
+class FederatedTrainer {
+ public:
+  FederatedTrainer(nn::Sequential& model, const data::Dataset& train,
+                   const data::Dataset& test, const data::Partition& partition,
+                   std::span<const mec::Device> devices, const mec::Channel& channel,
+                   sched::SelectionStrategy& strategy, TrainerOptions options);
+
+  /// Runs up to max_rounds rounds (stopping at the deadline or the target
+  /// accuracy) and returns the full trace.  The final global model remains
+  /// loaded in the model passed at construction.
+  TrainingHistory run();
+
+  /// Fleet view the strategy sees (useful for tests and benches).
+  sched::FleetView fleet_view() const { return {users_}; }
+
+ private:
+  nn::Sequential& model_;
+  const data::Dataset& test_;
+  std::span<const mec::Device> devices_;
+  mec::Channel channel_;
+  sched::SelectionStrategy& strategy_;
+  TrainerOptions options_;
+  std::vector<sched::UserInfo> users_;
+  std::vector<data::Batch> user_data_;  ///< gathered once at construction
+  mec::BatteryFleet batteries_;         ///< empty when batteries disabled
+};
+
+}  // namespace helcfl::fl

@@ -1,0 +1,49 @@
+#include "mec/battery.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace helcfl::mec {
+
+double Battery::drain(double joules) {
+  if (joules < 0.0) throw std::invalid_argument("Battery::drain: negative energy");
+  if (is_mains_powered()) return joules;
+  const double drained = std::min(joules, remaining_j_);
+  remaining_j_ -= drained;
+  return drained;
+}
+
+double Battery::state_of_charge() const {
+  if (is_mains_powered()) return 1.0;
+  return remaining_j_ / capacity_j_;
+}
+
+BatteryFleet::BatteryFleet(std::size_t n_devices, double capacity_j)
+    : batteries_(n_devices, Battery(capacity_j)), alive_(n_devices, 1) {}
+
+BatteryFleet::BatteryFleet(std::vector<double> capacities_j) {
+  batteries_.reserve(capacities_j.size());
+  for (const double capacity : capacities_j) batteries_.emplace_back(capacity);
+  alive_.assign(batteries_.size(), 1);
+}
+
+double BatteryFleet::drain(std::size_t i, double joules) {
+  const double drained = batteries_.at(i).drain(joules);
+  if (batteries_[i].depleted()) alive_[i] = 0;
+  return drained;
+}
+
+std::size_t BatteryFleet::alive_count() const {
+  std::size_t count = 0;
+  for (const auto a : alive_) count += a;
+  return count;
+}
+
+double BatteryFleet::mean_state_of_charge() const {
+  if (batteries_.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& b : batteries_) sum += b.state_of_charge();
+  return sum / static_cast<double>(batteries_.size());
+}
+
+}  // namespace helcfl::mec

@@ -1,0 +1,15 @@
+#include "mec/channel.h"
+
+#include <cmath>
+
+namespace helcfl::mec {
+
+double Channel::snr(const Device& device) const {
+  return device.tx_power_w * device.channel_gain_sq / noise_w;
+}
+
+double Channel::upload_rate_bps(const Device& device) const {
+  return bandwidth_hz * std::log2(1.0 + snr(device));
+}
+
+}  // namespace helcfl::mec

@@ -1,0 +1,22 @@
+// Wireless uplink model (Eq. 6 of the paper).
+#pragma once
+
+#include "mec/device.h"
+
+namespace helcfl::mec {
+
+/// Shared TDMA uplink of the MEC system: Z resource blocks of total
+/// bandwidth `bandwidth_hz` and background noise power `noise_w`.
+struct Channel {
+  double bandwidth_hz = 2e6;  ///< Z: total RB bandwidth (paper: 2 MHz)
+  double noise_w = 1e-9;      ///< N0 background noise power
+
+  /// Achievable upload rate of `device` in bits/s:
+  /// R_q = Z * log2(1 + p_q h_q^2 / N0).
+  double upload_rate_bps(const Device& device) const;
+
+  /// Signal-to-noise ratio p h^2 / N0 (dimensionless).
+  double snr(const Device& device) const;
+};
+
+}  // namespace helcfl::mec

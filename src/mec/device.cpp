@@ -1,0 +1,25 @@
+#include "mec/device.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace helcfl::mec {
+
+double Device::clamp_frequency(double f_hz) const {
+  return std::clamp(f_hz, f_min_hz, f_max_hz);
+}
+
+bool Device::is_valid() const {
+  return f_min_hz > 0.0 && f_max_hz >= f_min_hz && switched_capacitance > 0.0 &&
+         cycles_per_sample > 0.0 && tx_power_w > 0.0 && channel_gain_sq > 0.0;
+}
+
+std::string Device::to_string() const {
+  std::ostringstream out;
+  out << "Device{id=" << id << ", f=[" << f_min_hz / 1e9 << ", " << f_max_hz / 1e9
+      << "] GHz, |D|=" << num_samples << ", p=" << tx_power_w
+      << " W, h^2=" << channel_gain_sq << "}";
+  return out.str();
+}
+
+}  // namespace helcfl::mec

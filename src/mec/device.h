@@ -1,0 +1,44 @@
+// User device model (Section II of the paper).
+//
+// A device is characterized by its DVFS frequency range, effective switched
+// capacitance, workload (cycles per sample x local dataset size), and its
+// uplink radio parameters.  All quantities are SI: Hz, W, J, s, bits.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace helcfl::mec {
+
+/// Immutable description of one user device v_q.
+struct Device {
+  std::size_t id = 0;
+
+  // --- computation (Eqs. 4-5) ---
+  double f_min_hz = 0.3e9;          ///< lowest DVFS frequency
+  double f_max_hz = 2.0e9;          ///< highest DVFS frequency
+  double switched_capacitance = 2e-28;  ///< alpha in Eq. (5); E = alpha/2 * pi*|D| * f^2
+  double cycles_per_sample = 1e7;   ///< pi in Eq. (4)
+  std::size_t num_samples = 0;      ///< |D_q|
+
+  // --- communication (Eqs. 6-8) ---
+  double tx_power_w = 0.2;          ///< p_q
+  double channel_gain_sq = 1e-7;    ///< h_q^2 in the SNR of Eq. (6)
+
+  /// Total CPU cycles to process the local dataset once (pi * |D_q|).
+  double total_cycles() const {
+    return cycles_per_sample * static_cast<double>(num_samples);
+  }
+
+  /// Clamps a frequency into [f_min_hz, f_max_hz].
+  double clamp_frequency(double f_hz) const;
+
+  /// True when all physical parameters are positive and the frequency range
+  /// is non-empty.
+  bool is_valid() const;
+
+  /// Diagnostic string.
+  std::string to_string() const;
+};
+
+}  // namespace helcfl::mec

@@ -1,0 +1,37 @@
+#include "mec/fading.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace helcfl::mec {
+
+FadingProcess::FadingProcess(std::size_t n_devices, const FadingOptions& options,
+                             util::Rng rng)
+    : options_(options), rng_(rng) {
+  if (options.rho < 0.0 || options.rho >= 1.0) {
+    throw std::invalid_argument("FadingProcess: rho must be in [0, 1)");
+  }
+  if (options.sigma_db < 0.0) {
+    throw std::invalid_argument("FadingProcess: sigma_db must be >= 0");
+  }
+  states_db_.resize(n_devices, 0.0);
+  if (options_.enabled) {
+    for (auto& state : states_db_) state = rng_.normal(0.0, options_.sigma_db);
+  }
+}
+
+void FadingProcess::step() {
+  if (!options_.enabled) return;
+  const double innovation_scale =
+      options_.sigma_db * std::sqrt(1.0 - options_.rho * options_.rho);
+  for (auto& state : states_db_) {
+    state = options_.rho * state + rng_.normal(0.0, innovation_scale);
+  }
+}
+
+double FadingProcess::multiplier(std::size_t i) const {
+  if (!options_.enabled) return 1.0;
+  return std::pow(10.0, states_db_.at(i) / 10.0);
+}
+
+}  // namespace helcfl::mec

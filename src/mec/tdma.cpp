@@ -1,0 +1,45 @@
+#include "mec/tdma.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace helcfl::mec {
+
+TdmaSchedule schedule_uploads(std::span<const double> compute_delays,
+                              std::span<const double> upload_durations) {
+  if (compute_delays.size() != upload_durations.size()) {
+    throw std::invalid_argument("schedule_uploads: span length mismatch");
+  }
+  for (std::size_t i = 0; i < compute_delays.size(); ++i) {
+    if (compute_delays[i] < 0.0 || upload_durations[i] < 0.0) {
+      throw std::invalid_argument("schedule_uploads: negative delay");
+    }
+  }
+
+  // Grant order: by compute completion, ties by index (deterministic).
+  std::vector<std::size_t> order(compute_delays.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return compute_delays[a] < compute_delays[b];
+  });
+
+  TdmaSchedule schedule;
+  schedule.slots.reserve(order.size());
+  double link_free_at = 0.0;
+  for (const std::size_t i : order) {
+    UploadSlot slot;
+    slot.index = i;
+    slot.compute_end = compute_delays[i];
+    slot.upload_start = std::max(slot.compute_end, link_free_at);
+    slot.upload_end = slot.upload_start + upload_durations[i];
+    slot.slack_s = slot.upload_start - slot.compute_end;
+    link_free_at = slot.upload_end;
+    schedule.total_slack_s += slot.slack_s;
+    schedule.round_delay_s = std::max(schedule.round_delay_s, slot.upload_end);
+    schedule.slots.push_back(slot);
+  }
+  return schedule;
+}
+
+}  // namespace helcfl::mec

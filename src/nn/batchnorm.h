@@ -1,0 +1,53 @@
+// Batch normalization (Ioffe & Szegedy, 2015).
+//
+// Normalizes per feature (rank-2 input [N, F]) or per channel (rank-4
+// input [N, C, H, W]) using batch statistics during training and running
+// averages at inference.  Learnable affine parameters gamma/beta.
+//
+// Note for FL use: gamma/beta travel through the usual params()/FedAvg
+// path; the running statistics are local buffers (a known subtlety of
+// FedAvg-with-BatchNorm) and are *not* aggregated.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/layer.h"
+
+namespace helcfl::nn {
+
+class BatchNorm : public Layer {
+ public:
+  /// `num_features` is F for rank-2 inputs and C for rank-4 inputs.
+  explicit BatchNorm(std::size_t num_features, float momentum = 0.1F,
+                     float epsilon = 1e-5F);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override;
+
+  std::size_t num_features() const { return features_; }
+  std::span<const float> running_mean() const { return running_mean_.data(); }
+  std::span<const float> running_var() const { return running_var_.data(); }
+
+ private:
+  /// Per-feature group geometry of the last forward: how many samples were
+  /// reduced per feature and how to map a flat index to its feature.
+  std::size_t feature_of(const tensor::Shape& shape, std::size_t flat) const;
+
+  std::size_t features_;
+  float momentum_;
+  float epsilon_;
+  tensor::Tensor gamma_;         // [F]
+  tensor::Tensor beta_;          // [F]
+  tensor::Tensor grad_gamma_;
+  tensor::Tensor grad_beta_;
+  tensor::Tensor running_mean_;  // [F], inference statistics
+  tensor::Tensor running_var_;   // [F]
+  // Training-forward cache for backward().
+  tensor::Tensor x_hat_;         // normalized input
+  std::vector<float> batch_inv_std_;  // [F]
+  std::size_t group_size_ = 0;   // N (rank 2) or N*H*W (rank 4)
+};
+
+}  // namespace helcfl::nn

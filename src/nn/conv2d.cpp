@@ -1,0 +1,130 @@
+#include "nn/conv2d.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace helcfl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_size, std::size_t stride, std::size_t padding,
+               util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel_size),
+      stride_(stride),
+      padding_(padding),
+      weight_(Shape{out_channels, in_channels, kernel_size, kernel_size}),
+      bias_(Shape{out_channels}),
+      grad_weight_(Shape{out_channels, in_channels, kernel_size, kernel_size}),
+      grad_bias_(Shape{out_channels}) {
+  if (stride == 0) throw std::invalid_argument("Conv2D: stride must be positive");
+  const auto fan_in = static_cast<float>(in_channels * kernel_size * kernel_size);
+  weight_.fill_normal(rng, 0.0F, std::sqrt(2.0F / fan_in));
+}
+
+std::size_t Conv2D::output_extent(std::size_t input_extent) const {
+  const std::size_t padded = input_extent + 2 * padding_;
+  if (padded < kernel_) {
+    throw std::invalid_argument("Conv2D: input extent " + std::to_string(input_extent) +
+                                " too small for kernel " + std::to_string(kernel_));
+  }
+  return (padded - kernel_) / stride_ + 1;
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool training) {
+  const Shape& s = input.shape();
+  if (s.rank() != 4 || s[1] != in_channels_) {
+    throw std::invalid_argument("Conv2D::forward: expected [N, " +
+                                std::to_string(in_channels_) + ", H, W], got " +
+                                s.to_string());
+  }
+  const std::size_t batch = s[0];
+  const std::size_t h_in = s[2];
+  const std::size_t w_in = s[3];
+  const std::size_t h_out = output_extent(h_in);
+  const std::size_t w_out = output_extent(w_in);
+
+  Tensor output(Shape{batch, out_channels_, h_out, w_out});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t oy = 0; oy < h_out; ++oy) {
+        for (std::size_t ox = 0; ox < w_out; ++ox) {
+          float acc = bias_[oc];
+          for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::size_t iy_p = oy * stride_ + ky;
+              if (iy_p < padding_ || iy_p >= h_in + padding_) continue;
+              const std::size_t iy = iy_p - padding_;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::size_t ix_p = ox * stride_ + kx;
+                if (ix_p < padding_ || ix_p >= w_in + padding_) continue;
+                const std::size_t ix = ix_p - padding_;
+                acc += input.at(n, ic, iy, ix) * weight_.at(oc, ic, ky, kx);
+              }
+            }
+          }
+          output.at(n, oc, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  if (training) cached_input_ = input;
+  return output;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  assert(!cached_input_.empty() && "backward() requires a training forward()");
+  const Shape& s = cached_input_.shape();
+  const std::size_t batch = s[0];
+  const std::size_t h_in = s[2];
+  const std::size_t w_in = s[3];
+  const std::size_t h_out = grad_output.shape()[2];
+  const std::size_t w_out = grad_output.shape()[3];
+  assert(grad_output.shape() == Shape({batch, out_channels_, h_out, w_out}));
+
+  Tensor grad_input(s);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t oy = 0; oy < h_out; ++oy) {
+        for (std::size_t ox = 0; ox < w_out; ++ox) {
+          const float g = grad_output.at(n, oc, oy, ox);
+          if (g == 0.0F) continue;
+          grad_bias_[oc] += g;
+          for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::size_t iy_p = oy * stride_ + ky;
+              if (iy_p < padding_ || iy_p >= h_in + padding_) continue;
+              const std::size_t iy = iy_p - padding_;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::size_t ix_p = ox * stride_ + kx;
+                if (ix_p < padding_ || ix_p >= w_in + padding_) continue;
+                const std::size_t ix = ix_p - padding_;
+                grad_weight_.at(oc, ic, ky, kx) += g * cached_input_.at(n, ic, iy, ix);
+                grad_input.at(n, ic, iy, ix) += g * weight_.at(oc, ic, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2D::params() {
+  return {{weight_.data(), grad_weight_.data()}, {bias_.data(), grad_bias_.data()}};
+}
+
+std::string Conv2D::name() const {
+  return "Conv2D(" + std::to_string(in_channels_) + "->" +
+         std::to_string(out_channels_) + ", k=" + std::to_string(kernel_) +
+         ", s=" + std::to_string(stride_) + ", p=" + std::to_string(padding_) + ")";
+}
+
+}  // namespace helcfl::nn

@@ -1,0 +1,48 @@
+// 2-D convolution over NCHW activations (direct algorithm).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/layer.h"
+
+namespace helcfl::util {
+class Rng;
+}
+
+namespace helcfl::nn {
+
+/// Convolution layer.  Input [N, in_ch, H, W]; weight
+/// [out_ch, in_ch, k, k]; output [N, out_ch, H_out, W_out] with
+/// H_out = (H + 2*pad - k) / stride + 1.
+class Conv2D : public Layer {
+ public:
+  /// He-initializes the kernel with `rng`; bias starts at zero.
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_size,
+         std::size_t stride, std::size_t padding, util::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override;
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel_size() const { return kernel_; }
+
+  /// Output spatial size for an input extent (height or width).
+  std::size_t output_extent(std::size_t input_extent) const;
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  tensor::Tensor weight_;       // [out, in, k, k]
+  tensor::Tensor bias_;         // [out]
+  tensor::Tensor grad_weight_;
+  tensor::Tensor grad_bias_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace helcfl::nn

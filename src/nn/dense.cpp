@@ -1,0 +1,77 @@
+#include "nn/dense.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace helcfl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}),
+      grad_weight_(Shape{out_features, in_features}),
+      grad_bias_(Shape{out_features}) {
+  const float stddev = std::sqrt(2.0F / static_cast<float>(in_features));
+  weight_.fill_normal(rng, 0.0F, stddev);
+}
+
+Tensor Dense::forward(const Tensor& input, bool training) {
+  if (input.shape().rank() != 2 || input.shape()[1] != in_features_) {
+    throw std::invalid_argument("Dense::forward: expected [batch, " +
+                                std::to_string(in_features_) + "], got " +
+                                input.shape().to_string());
+  }
+  const std::size_t batch = input.shape()[0];
+  Tensor output(Shape{batch, out_features_});
+  // output[b, o] = sum_i input[b, i] * weight[o, i] + bias[o]
+  tensor::gemm_a_bt(batch, in_features_, out_features_, input.data(), weight_.data(),
+                    output.data());
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_features_; ++o) output.at(b, o) += bias_[o];
+  }
+  if (training) cached_input_ = input;
+  return output;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  assert(!cached_input_.empty() && "backward() requires a training forward()");
+  const std::size_t batch = cached_input_.shape()[0];
+  assert(grad_output.shape() == Shape({batch, out_features_}));
+
+  // grad_weight[o, i] += sum_b grad_output[b, o] * input[b, i]
+  Tensor gw(Shape{out_features_, in_features_});
+  tensor::gemm_at_b(out_features_, batch, in_features_, grad_output.data(),
+                    cached_input_.data(), gw.data());
+  tensor::add_inplace(grad_weight_.data(), gw.data());
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      grad_bias_[o] += grad_output.at(b, o);
+    }
+  }
+
+  // grad_input[b, i] = sum_o grad_output[b, o] * weight[o, i]
+  Tensor grad_input(Shape{batch, in_features_});
+  tensor::gemm(batch, out_features_, in_features_, grad_output.data(), weight_.data(),
+               grad_input.data());
+  return grad_input;
+}
+
+std::vector<ParamRef> Dense::params() {
+  return {{weight_.data(), grad_weight_.data()}, {bias_.data(), grad_bias_.data()}};
+}
+
+std::string Dense::name() const {
+  return "Dense(" + std::to_string(in_features_) + "->" + std::to_string(out_features_) +
+         ")";
+}
+
+}  // namespace helcfl::nn

@@ -1,0 +1,26 @@
+// Inverted dropout: zeroes activations with probability p during training
+// and rescales survivors by 1/(1-p); identity at inference.
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace helcfl::nn {
+
+class Dropout : public Layer {
+ public:
+  /// `p` is the drop probability in [0, 1).  The layer forks its own RNG
+  /// stream from `rng` so dropout masks are reproducible.
+  Dropout(float p, util::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  float p_;
+  util::Rng rng_;
+  tensor::Tensor mask_;  // 0 or 1/(1-p)
+};
+
+}  // namespace helcfl::nn

@@ -1,0 +1,25 @@
+#include "nn/flatten.h"
+
+#include <stdexcept>
+
+namespace helcfl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  if (input.shape().rank() < 2) {
+    throw std::invalid_argument("Flatten::forward: rank must be >= 2, got " +
+                                input.shape().to_string());
+  }
+  if (training) input_shape_ = input.shape();
+  const std::size_t batch = input.shape()[0];
+  const std::size_t features = input.size() / batch;
+  return input.reshaped(Shape{batch, features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace helcfl::nn

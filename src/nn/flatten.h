@@ -1,0 +1,18 @@
+// Flattens [N, C, H, W] (or any rank >= 2) to [N, features].
+#pragma once
+
+#include "nn/layer.h"
+
+namespace helcfl::nn {
+
+class Flatten : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+}  // namespace helcfl::nn

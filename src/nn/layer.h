@@ -1,0 +1,59 @@
+// Layer abstraction for the from-scratch neural-network library.
+//
+// Training protocol (single-threaded, as used by the FL client):
+//   1. zero_grad()
+//   2. y = forward(x, /*training=*/true)   -- caches whatever backward needs
+//   3. dx = backward(dy)                   -- accumulates parameter gradients
+//   4. optimizer steps over params()
+//
+// forward(x, /*training=*/false) must not perturb results (e.g. dropout
+// becomes identity) and may skip caching.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace helcfl::nn {
+
+/// Non-owning view of one parameter tensor and its gradient accumulator.
+/// Both spans alias storage owned by the layer and remain valid while the
+/// layer is alive and not moved.
+struct ParamRef {
+  std::span<float> value;
+  std::span<float> grad;
+};
+
+/// Base class for all layers.
+class Layer {
+ public:
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+  virtual ~Layer() = default;
+
+  /// Computes the layer output.  When `training` is true the layer caches
+  /// the activations needed by backward().
+  virtual tensor::Tensor forward(const tensor::Tensor& input, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput.  Must be called after a training-mode forward().
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Clears all gradient accumulators.
+  void zero_grad() {
+    for (auto& p : params()) {
+      for (auto& g : p.grad) g = 0.0F;
+    }
+  }
+
+  /// Diagnostic name, e.g. "Dense(192->64)".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace helcfl::nn

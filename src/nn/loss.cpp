@@ -1,0 +1,78 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace helcfl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: logits must be rank-2, got " +
+                                logits.shape().to_string());
+  }
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  if (labels.size() != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+
+  LossResult result;
+  result.probabilities = Tensor(Shape{batch, classes});
+  result.grad_logits = Tensor(Shape{batch, classes});
+
+  double total_nll = 0.0;
+  const float inv_batch = 1.0F / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto label = static_cast<std::size_t>(labels[b]);
+    assert(labels[b] >= 0 && label < classes);
+
+    float max_logit = logits.at(b, 0);
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (logits.at(b, c) > max_logit) {
+        max_logit = logits.at(b, c);
+        argmax = c;
+      }
+    }
+    if (argmax == label) ++result.correct;
+
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(logits.at(b, c) - max_logit));
+    }
+    const double log_denom = std::log(denom);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double log_p =
+          static_cast<double>(logits.at(b, c) - max_logit) - log_denom;
+      const auto p = static_cast<float>(std::exp(log_p));
+      result.probabilities.at(b, c) = p;
+      result.grad_logits.at(b, c) = p * inv_batch;
+      if (c == label) total_nll -= log_p;
+    }
+    result.grad_logits.at(b, label) -= inv_batch;
+  }
+  result.loss = total_nll / static_cast<double>(batch);
+  return result;
+}
+
+std::size_t count_correct(const Tensor& logits, std::span<const std::int32_t> labels) {
+  assert(logits.shape().rank() == 2 && logits.shape()[0] == labels.size());
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (logits.at(b, c) > logits.at(b, argmax)) argmax = c;
+    }
+    if (argmax == static_cast<std::size_t>(labels[b])) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace helcfl::nn

@@ -1,0 +1,29 @@
+// Softmax cross-entropy loss over class logits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace helcfl::nn {
+
+/// Result of a softmax cross-entropy evaluation on a batch.
+struct LossResult {
+  double loss = 0.0;              ///< mean negative log-likelihood over the batch
+  tensor::Tensor grad_logits;     ///< dLoss/dLogits, shape [batch, classes]
+  tensor::Tensor probabilities;   ///< softmax outputs, shape [batch, classes]
+  std::size_t correct = 0;        ///< argmax matches label
+};
+
+/// Computes mean cross-entropy of softmax(logits) against integer labels.
+/// `logits` is [batch, classes]; labels.size() must equal batch and every
+/// label must be in [0, classes).  Numerically stabilized via max-shift.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::int32_t> labels);
+
+/// Count of argmax(logits) == label, without computing gradients.
+std::size_t count_correct(const tensor::Tensor& logits,
+                          std::span<const std::int32_t> labels);
+
+}  // namespace helcfl::nn

@@ -1,0 +1,92 @@
+#include "nn/models.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/fire.h"
+#include "nn/flatten.h"
+#include "nn/pool.h"
+
+namespace helcfl::nn {
+
+ModelKind parse_model_kind(const std::string& text) {
+  if (text == "logistic") return ModelKind::kLogistic;
+  if (text == "mlp") return ModelKind::kMlp;
+  if (text == "small_cnn") return ModelKind::kSmallCnn;
+  if (text == "mini_squeezenet") return ModelKind::kMiniSqueezeNet;
+  throw std::invalid_argument("unknown model kind: " + text);
+}
+
+std::string model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLogistic: return "logistic";
+    case ModelKind::kMlp: return "mlp";
+    case ModelKind::kSmallCnn: return "small_cnn";
+    case ModelKind::kMiniSqueezeNet: return "mini_squeezenet";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Sequential> make_logistic(const ImageSpec& spec,
+                                          std::size_t num_classes, util::Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Flatten>();
+  model->emplace<Dense>(spec.flat_features(), num_classes, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_mlp(const ImageSpec& spec, std::size_t hidden,
+                                     std::size_t num_classes, util::Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Flatten>();
+  model->emplace<Dense>(spec.flat_features(), hidden, rng);
+  model->emplace<ReLU>();
+  model->emplace<Dense>(hidden, num_classes, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_small_cnn(const ImageSpec& spec,
+                                           std::size_t num_classes, util::Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Conv2D>(spec.channels, 8, /*kernel_size=*/3, /*stride=*/1,
+                         /*padding=*/1, rng);
+  model->emplace<ReLU>();
+  model->emplace<MaxPool2D>(/*kernel_size=*/2, /*stride=*/2);
+  model->emplace<Conv2D>(8, 16, /*kernel_size=*/3, /*stride=*/1, /*padding=*/1, rng);
+  model->emplace<ReLU>();
+  model->emplace<GlobalAvgPool2D>();
+  model->emplace<Dense>(16, num_classes, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_mini_squeezenet(const ImageSpec& spec,
+                                                 std::size_t num_classes,
+                                                 util::Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Conv2D>(spec.channels, 8, /*kernel_size=*/3, /*stride=*/1,
+                         /*padding=*/1, rng);
+  model->emplace<ReLU>();
+  model->emplace<Fire>(8, /*squeeze=*/4, /*expand1x1=*/8, /*expand3x3=*/8, rng);
+  model->emplace<MaxPool2D>(/*kernel_size=*/2, /*stride=*/2);
+  model->emplace<Fire>(16, /*squeeze=*/8, /*expand1x1=*/16, /*expand3x3=*/16, rng);
+  // SqueezeNet head: 1x1 conv to class maps, then global average pooling.
+  model->emplace<Conv2D>(32, num_classes, /*kernel_size=*/1, /*stride=*/1,
+                         /*padding=*/0, rng);
+  model->emplace<GlobalAvgPool2D>();
+  return model;
+}
+
+std::unique_ptr<Sequential> make_model(ModelKind kind, const ImageSpec& spec,
+                                       std::size_t num_classes, util::Rng& rng) {
+  switch (kind) {
+    case ModelKind::kLogistic: return make_logistic(spec, num_classes, rng);
+    case ModelKind::kMlp: return make_mlp(spec, 64, num_classes, rng);
+    case ModelKind::kSmallCnn: return make_small_cnn(spec, num_classes, rng);
+    case ModelKind::kMiniSqueezeNet: return make_mini_squeezenet(spec, num_classes, rng);
+  }
+  throw std::invalid_argument("make_model: bad kind");
+}
+
+}  // namespace helcfl::nn

@@ -1,0 +1,64 @@
+// Model zoo: ready-made architectures used by the FL experiments.
+//
+// The paper trains SqueezeNet on CIFAR-10; our default experiment model is
+// a scaled-down squeeze-style CNN (Fire modules) or an MLP, both operating
+// on the synthetic CIFAR-10-like images of src/data.  See DESIGN.md for the
+// substitution rationale.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace helcfl::nn {
+
+/// Input geometry of an image model.
+struct ImageSpec {
+  std::size_t channels = 3;
+  std::size_t height = 8;
+  std::size_t width = 8;
+
+  std::size_t flat_features() const { return channels * height * width; }
+};
+
+enum class ModelKind {
+  kLogistic,        ///< single linear layer (softmax regression)
+  kMlp,             ///< 1 hidden layer, ReLU
+  kSmallCnn,        ///< 2 conv + pool + dense
+  kMiniSqueezeNet,  ///< conv + 2 Fire modules + global average pool
+};
+
+/// Parses "logistic" | "mlp" | "small_cnn" | "mini_squeezenet".
+/// Throws std::invalid_argument for anything else.
+ModelKind parse_model_kind(const std::string& text);
+
+/// Human-readable name of a kind.
+std::string model_kind_name(ModelKind kind);
+
+/// Softmax regression on flattened input: Flatten + Dense.
+std::unique_ptr<Sequential> make_logistic(const ImageSpec& spec,
+                                          std::size_t num_classes, util::Rng& rng);
+
+/// Flatten -> Dense(hidden) -> ReLU -> Dense(classes).
+std::unique_ptr<Sequential> make_mlp(const ImageSpec& spec, std::size_t hidden,
+                                     std::size_t num_classes, util::Rng& rng);
+
+/// Conv(8,k3,p1) -> ReLU -> MaxPool(2) -> Conv(16,k3,p1) -> ReLU ->
+/// GlobalAvgPool -> Dense(classes).
+std::unique_ptr<Sequential> make_small_cnn(const ImageSpec& spec,
+                                           std::size_t num_classes, util::Rng& rng);
+
+/// Conv(8,k3,p1) -> ReLU -> Fire(4,8,8) -> MaxPool(2) -> Fire(8,16,16) ->
+/// Conv1x1(classes) -> GlobalAvgPool: the SqueezeNet recipe shrunk to the
+/// synthetic image sizes.
+std::unique_ptr<Sequential> make_mini_squeezenet(const ImageSpec& spec,
+                                                 std::size_t num_classes,
+                                                 util::Rng& rng);
+
+/// Dispatches on `kind` with sensible defaults (MLP hidden = 64).
+std::unique_ptr<Sequential> make_model(ModelKind kind, const ImageSpec& spec,
+                                       std::size_t num_classes, util::Rng& rng);
+
+}  // namespace helcfl::nn

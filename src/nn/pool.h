@@ -1,0 +1,38 @@
+// Spatial pooling layers over NCHW activations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace helcfl::nn {
+
+/// Max pooling with square window.  Output extent = (H - k) / stride + 1.
+class MaxPool2D : public Layer {
+ public:
+  MaxPool2D(std::size_t kernel_size, std::size_t stride);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  tensor::Shape input_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output's max
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool2D : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool2D"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+}  // namespace helcfl::nn

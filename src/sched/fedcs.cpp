@@ -1,0 +1,74 @@
+#include "sched/fedcs.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "mec/tdma.h"
+
+namespace helcfl::sched {
+
+FedCsSelection::FedCsSelection(double deadline_s, double max_fraction)
+    : deadline_s_(deadline_s), max_fraction_(max_fraction) {
+  if (deadline_s <= 0.0) {
+    throw std::invalid_argument("FedCsSelection: deadline must be positive");
+  }
+}
+
+double estimate_round_time(const FleetView& fleet,
+                           std::span<const std::size_t> members) {
+  std::vector<double> compute;
+  std::vector<double> upload;
+  compute.reserve(members.size());
+  upload.reserve(members.size());
+  for (const std::size_t i : members) {
+    compute.push_back(fleet.users[i].t_cal_max_s);
+    upload.push_back(fleet.users[i].t_com_s);
+  }
+  return mec::schedule_uploads(compute, upload).round_delay_s;
+}
+
+Decision FedCsSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
+  // Candidates in ascending order of standalone delay — the "short training
+  // delay first" greedy of the paper.
+  std::vector<std::size_t> order(fleet.users.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fleet.users[a].total_delay_max_s() < fleet.users[b].total_delay_max_s();
+  });
+
+  const std::size_t cap = max_fraction_ > 0.0
+                              ? selection_count(fleet.users.size(), max_fraction_)
+                              : fleet.users.size();
+
+  Decision decision;
+  for (const std::size_t candidate : order) {
+    if (!fleet.is_alive(candidate)) continue;
+    if (decision.selected.size() >= cap) break;
+    decision.selected.push_back(candidate);
+    if (estimate_round_time(fleet, decision.selected) > deadline_s_) {
+      decision.selected.pop_back();
+      // Later candidates are even slower; no further candidate can fit.
+      break;
+    }
+  }
+  // Never return an empty round: admit the single fastest *alive* user even
+  // if it alone exceeds the deadline (FedCS's "at least one" behaviour).
+  if (decision.selected.empty()) {
+    for (const std::size_t candidate : order) {
+      if (fleet.is_alive(candidate)) {
+        decision.selected.push_back(candidate);
+        break;
+      }
+    }
+  }
+
+  decision.frequencies_hz.reserve(decision.selected.size());
+  for (const std::size_t i : decision.selected) {
+    decision.frequencies_hz.push_back(fleet.users[i].device.f_max_hz);
+  }
+  return decision;
+}
+
+}  // namespace helcfl::sched

@@ -1,0 +1,39 @@
+// FedCS baseline (Nishio & Yonetani [10]): deadline-constrained greedy
+// selection of as many *fast* users as fit into a per-round deadline.
+//
+// The original FedCS solves a knapsack-flavoured maximization of the user
+// count under the round deadline; we reproduce its published greedy
+// heuristic: scan candidates in ascending order of their marginal round
+// time and admit every user that keeps the estimated TDMA round time within
+// the deadline.  All admitted users run at maximum frequency.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace helcfl::sched {
+
+class FedCsSelection : public SelectionStrategy {
+ public:
+  /// `deadline_s` is the per-round time budget T_round.  `max_fraction`
+  /// bounds the admitted user count at selection_count(Q, max_fraction)
+  /// so FedCS competes with the other schemes under the same uplink budget
+  /// (<= 0 disables the bound).
+  explicit FedCsSelection(double deadline_s, double max_fraction = 0.0);
+
+  Decision decide(const FleetView& fleet, std::size_t round) override;
+  void reset() override {}
+  std::string name() const override { return "FedCS"; }
+
+  double deadline_s() const { return deadline_s_; }
+
+ private:
+  double deadline_s_;
+  double max_fraction_;
+};
+
+/// Estimated TDMA round time if exactly `members` participate at f_max:
+/// compute in parallel, upload serially in compute-completion order.
+double estimate_round_time(const FleetView& fleet,
+                           std::span<const std::size_t> members);
+
+}  // namespace helcfl::sched

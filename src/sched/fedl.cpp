@@ -1,0 +1,40 @@
+#include "sched/fedl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace helcfl::sched {
+
+FedlSelection::FedlSelection(double fraction, double kappa, util::Rng rng)
+    : fraction_(fraction), kappa_(kappa), initial_rng_(rng), rng_(rng) {
+  if (kappa <= 0.0) throw std::invalid_argument("FedlSelection: kappa must be > 0");
+}
+
+double FedlSelection::unconstrained_frequency(double kappa,
+                                              double switched_capacitance) {
+  return std::cbrt(kappa / switched_capacitance);
+}
+
+Decision FedlSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
+  const std::vector<std::size_t> alive = fleet.alive_indices();
+  Decision decision;
+  if (alive.empty()) return decision;
+  const std::size_t n =
+      std::min(selection_count(fleet.users.size(), fraction_), alive.size());
+  for (const std::size_t pick : rng_.sample_without_replacement(alive.size(), n)) {
+    decision.selected.push_back(alive[pick]);
+  }
+  decision.frequencies_hz.reserve(n);
+  for (const std::size_t i : decision.selected) {
+    const auto& device = fleet.users[i].device;
+    const double f_star =
+        unconstrained_frequency(kappa_, device.switched_capacitance);
+    decision.frequencies_hz.push_back(device.clamp_frequency(f_star));
+  }
+  return decision;
+}
+
+void FedlSelection::reset() { rng_ = initial_rng_; }
+
+}  // namespace helcfl::sched

@@ -1,0 +1,113 @@
+#include "sched/oort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace helcfl::sched {
+
+OortSelection::OortSelection(const OortOptions& options, util::Rng rng)
+    : options_(options), initial_rng_(rng), rng_(rng) {
+  if (options.fraction <= 0.0 || options.fraction > 1.0) {
+    throw std::invalid_argument("OortSelection: fraction must be in (0, 1]");
+  }
+  if (options.alpha < 0.0) {
+    throw std::invalid_argument("OortSelection: alpha must be >= 0");
+  }
+  if (options.explore_ratio < 0.0 || options.explore_ratio > 1.0) {
+    throw std::invalid_argument("OortSelection: explore_ratio must be in [0, 1]");
+  }
+}
+
+double OortSelection::statistical_utility(std::size_t user) const {
+  if (user >= explored_.size() || !explored_[user]) return max_seen_loss_;
+  return last_loss_[user];
+}
+
+Decision OortSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
+  const std::size_t q = fleet.users.size();
+  if (last_loss_.empty()) {
+    last_loss_.assign(q, 0.0);
+    explored_.assign(q, false);
+  } else if (last_loss_.size() != q) {
+    throw std::invalid_argument("OortSelection: fleet size changed");
+  }
+  if (resolved_t_pref_ <= 0.0) {
+    if (options_.preferred_duration_s > 0.0) {
+      resolved_t_pref_ = options_.preferred_duration_s;
+    } else {
+      std::vector<double> delays;
+      delays.reserve(q);
+      for (const auto& user : fleet.users) delays.push_back(user.total_delay_max_s());
+      std::nth_element(delays.begin(), delays.begin() + static_cast<std::ptrdiff_t>(q / 2),
+                       delays.end());
+      resolved_t_pref_ = delays[q / 2];
+    }
+  }
+
+  const std::vector<std::size_t> alive = fleet.alive_indices();
+  Decision decision;
+  if (alive.empty()) return decision;
+  const std::size_t n = std::min(selection_count(q, options_.fraction), alive.size());
+  const auto n_explore = static_cast<std::size_t>(
+      std::floor(options_.explore_ratio * static_cast<double>(n)));
+  const std::size_t n_exploit = n - n_explore;
+
+  // Exploit arm: top users by loss x system utility.
+  std::vector<std::size_t> order = alive;
+  std::vector<double> utilities(q, 0.0);
+  for (const std::size_t i : alive) {
+    const double stat =
+        static_cast<double>(fleet.users[i].device.num_samples) *
+        statistical_utility(i);
+    const double t = fleet.users[i].total_delay_max_s();
+    const double system =
+        t <= resolved_t_pref_ ? 1.0 : std::pow(resolved_t_pref_ / t, options_.alpha);
+    utilities[i] = stat * system;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return utilities[a] > utilities[b];
+  });
+  decision.selected.assign(order.begin(),
+                           order.begin() + static_cast<std::ptrdiff_t>(n_exploit));
+
+  // Explore arm: uniform over the remaining alive users.
+  if (n_explore > 0) {
+    std::vector<std::size_t> rest(order.begin() + static_cast<std::ptrdiff_t>(n_exploit),
+                                  order.end());
+    for (const std::size_t pick :
+         rng_.sample_without_replacement(rest.size(), std::min(n_explore, rest.size()))) {
+      decision.selected.push_back(rest[pick]);
+    }
+  }
+
+  decision.frequencies_hz.reserve(decision.selected.size());
+  for (const std::size_t i : decision.selected) {
+    decision.frequencies_hz.push_back(fleet.users[i].device.f_max_hz);
+  }
+  return decision;
+}
+
+void OortSelection::observe(std::size_t /*round*/, const Decision& decision,
+                            std::span<const double> client_losses) {
+  if (decision.selected.size() != client_losses.size()) {
+    throw std::invalid_argument("OortSelection::observe: size mismatch");
+  }
+  for (std::size_t k = 0; k < decision.selected.size(); ++k) {
+    const std::size_t user = decision.selected[k];
+    if (user >= last_loss_.size()) continue;
+    last_loss_[user] = client_losses[k];
+    explored_[user] = true;
+    max_seen_loss_ = std::max(max_seen_loss_, client_losses[k]);
+  }
+}
+
+void OortSelection::reset() {
+  rng_ = initial_rng_;
+  resolved_t_pref_ = 0.0;
+  last_loss_.clear();
+  explored_.clear();
+  max_seen_loss_ = 1.0;
+}
+
+}  // namespace helcfl::sched

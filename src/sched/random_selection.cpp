@@ -1,0 +1,28 @@
+#include "sched/random_selection.h"
+
+#include <algorithm>
+
+namespace helcfl::sched {
+
+RandomSelection::RandomSelection(double fraction, util::Rng rng)
+    : fraction_(fraction), initial_rng_(rng), rng_(rng) {}
+
+Decision RandomSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
+  const std::vector<std::size_t> alive = fleet.alive_indices();
+  Decision decision;
+  if (alive.empty()) return decision;
+  const std::size_t n =
+      std::min(selection_count(fleet.users.size(), fraction_), alive.size());
+  for (const std::size_t pick : rng_.sample_without_replacement(alive.size(), n)) {
+    decision.selected.push_back(alive[pick]);
+  }
+  decision.frequencies_hz.reserve(n);
+  for (const std::size_t i : decision.selected) {
+    decision.frequencies_hz.push_back(fleet.users[i].device.f_max_hz);
+  }
+  return decision;
+}
+
+void RandomSelection::reset() { rng_ = initial_rng_; }
+
+}  // namespace helcfl::sched

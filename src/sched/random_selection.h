@@ -1,0 +1,25 @@
+// Classic FL baseline (McMahan et al. [9]): uniform random selection of
+// Q*C users each round; everyone runs at maximum frequency.
+#pragma once
+
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace helcfl::sched {
+
+class RandomSelection : public SelectionStrategy {
+ public:
+  /// `fraction` is the user selection fraction C.
+  RandomSelection(double fraction, util::Rng rng);
+
+  Decision decide(const FleetView& fleet, std::size_t round) override;
+  void reset() override;
+  std::string name() const override { return "ClassicFL"; }
+
+ private:
+  double fraction_;
+  util::Rng initial_rng_;
+  util::Rng rng_;
+};
+
+}  // namespace helcfl::sched

@@ -1,0 +1,39 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mec/cost_model.h"
+
+namespace helcfl::sched {
+
+std::size_t selection_count(std::size_t n_users, double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("selection_count: fraction must be in [0, 1]");
+  }
+  const double raw = static_cast<double>(n_users) * fraction;
+  const auto n = static_cast<std::size_t>(std::llround(raw));
+  return std::clamp<std::size_t>(n, 1, n_users);
+}
+
+std::vector<UserInfo> build_user_info(std::span<const mec::Device> devices,
+                                      const mec::Channel& channel,
+                                      double model_size_bits) {
+  std::vector<UserInfo> users;
+  users.reserve(devices.size());
+  for (const auto& device : devices) {
+    if (!device.is_valid()) {
+      throw std::invalid_argument("build_user_info: invalid device " +
+                                  device.to_string());
+    }
+    UserInfo info;
+    info.device = device;
+    info.t_cal_max_s = mec::compute_delay_s(device, device.f_max_hz);
+    info.t_com_s = mec::upload_delay_s(device, channel, model_size_bits);
+    users.push_back(info);
+  }
+  return users;
+}
+
+}  // namespace helcfl::sched

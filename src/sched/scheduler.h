@@ -1,0 +1,103 @@
+// Per-round user selection and frequency determination interface.
+//
+// Algorithm 1 calls a SelectionStrategy at the top of every round (line 4)
+// to obtain (a) the selected user set Γ_j and (b) the operating frequency
+// F_Γj of each selected user.  Strategies are stateful across rounds (e.g.
+// HELCFL's appearance counters); reset() restores the initial state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mec/channel.h"
+#include "mec/device.h"
+
+namespace helcfl::sched {
+
+/// What the FLCC knows about one user after the initialization phase
+/// (Algorithm 1 lines 1-2): its device parameters and the delays derived
+/// from them at maximum frequency.
+struct UserInfo {
+  mec::Device device;
+  double t_cal_max_s = 0.0;  ///< Eq. (4) at f_max
+  double t_com_s = 0.0;      ///< Eq. (7)
+
+  double total_delay_max_s() const { return t_cal_max_s + t_com_s; }
+};
+
+/// Fleet snapshot passed to strategies each round.
+///
+/// `alive` is the availability mask maintained by the battery model
+/// (1 = selectable); an empty mask means every user is available.  A
+/// strategy must never select a user whose mask entry is 0.
+struct FleetView {
+  std::span<const UserInfo> users;
+  std::span<const std::uint8_t> alive = {};
+
+  bool is_alive(std::size_t i) const { return alive.empty() || alive[i] != 0; }
+
+  std::size_t alive_count() const {
+    if (alive.empty()) return users.size();
+    std::size_t count = 0;
+    for (const auto a : alive) count += a != 0 ? 1 : 0;
+    return count;
+  }
+
+  /// Indices of all selectable users, ascending.
+  std::vector<std::size_t> alive_indices() const {
+    std::vector<std::size_t> indices;
+    indices.reserve(users.size());
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      if (is_alive(i)) indices.push_back(i);
+    }
+    return indices;
+  }
+};
+
+/// One round's scheduling decision: Γ_j and F_Γj, index-aligned.
+struct Decision {
+  std::vector<std::size_t> selected;     ///< indices into FleetView::users
+  std::vector<double> frequencies_hz;    ///< operating frequency per selected user
+};
+
+/// Strategy interface (Algorithm 1 line 4).
+class SelectionStrategy {
+ public:
+  SelectionStrategy() = default;
+  SelectionStrategy(const SelectionStrategy&) = delete;
+  SelectionStrategy& operator=(const SelectionStrategy&) = delete;
+  virtual ~SelectionStrategy() = default;
+
+  /// Chooses the users and frequencies for round `round` (0-based).
+  virtual Decision decide(const FleetView& fleet, std::size_t round) = 0;
+
+  /// Training feedback delivered after each round: the pre-update local
+  /// training loss of every user in `decision.selected` (index-aligned).
+  /// Loss-aware strategies (e.g. Oort-like selection) use this; the
+  /// default implementation ignores it.
+  virtual void observe(std::size_t round, const Decision& decision,
+                       std::span<const double> client_losses) {
+    (void)round;
+    (void)decision;
+    (void)client_losses;
+  }
+
+  /// Restores construction-time state (counters, RNG stream).
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// N = max(Q * C, 1) of Algorithm 2 line 11.
+std::size_t selection_count(std::size_t n_users, double fraction);
+
+/// Builds the per-user FleetView entries from raw devices (initialization
+/// phase: derive T^cal at f_max and T^com).
+std::vector<UserInfo> build_user_info(std::span<const mec::Device> devices,
+                                      const mec::Channel& channel,
+                                      double model_size_bits);
+
+}  // namespace helcfl::sched

@@ -1,0 +1,83 @@
+// Experiment configuration: every knob of the paper's Section VII-A plus
+// the substitution parameters documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/synthetic_cifar.h"
+#include "fl/trainer.h"
+#include "nn/models.h"
+
+namespace helcfl::sim {
+
+/// Which scheduler drives training (the paper's five compared schemes plus
+/// the HELCFL-without-DVFS arm of Fig. 3).
+enum class Scheme {
+  kHelcfl,        ///< Algorithm 2 + Algorithm 3
+  kHelcflNoDvfs,  ///< Algorithm 2, everyone at f_max (Fig. 3 baseline arm)
+  kClassicFl,     ///< random selection [9]
+  kFedCs,         ///< deadline-greedy selection [10]
+  kFedl,          ///< random selection + closed-form frequency [12]
+  kSl,            ///< separated learning [4]
+};
+
+/// Parses "helcfl" | "helcfl_nodvfs" | "classic" | "fedcs" | "fedl" | "sl".
+Scheme parse_scheme(const std::string& text);
+std::string scheme_name(Scheme scheme);
+
+struct ExperimentConfig {
+  // --- workload (Section VII-A) ---
+  data::SyntheticCifarOptions dataset;        ///< synthetic CIFAR-10 stand-in
+  bool noniid = false;                        ///< IID vs sort-and-shard
+  std::size_t shards_per_user = 4;            ///< paper: 400 shards / 4 per user
+  nn::ModelKind model = nn::ModelKind::kMlp;  ///< trained architecture
+
+  // --- fleet (paper constants) ---
+  std::size_t n_users = 100;       ///< Q
+  double f_min_hz = 0.3e9;         ///< lowest CPU frequency
+  double f_max_low_hz = 0.3e9;     ///< f_max ~ U(f_max_low, f_max_high)
+  double f_max_high_hz = 2.0e9;
+  double switched_capacitance = 2e-28;  ///< alpha (paper's 2x10^28 is a typo)
+  double cycles_per_sample = 1e7;  ///< pi
+  /// The paper's users hold 500 CIFAR-10 samples each; our synthetic
+  /// partitions hold train_samples / n_users (40 by default).  This factor
+  /// scales each device's per-sample cycle cost so the compute *workload*
+  /// matches the paper's 500-sample partitions (12.5 = 500 / 40).  The
+  /// resulting compute-dominated regime is what produces the paper's
+  /// Table-I speedups (heterogeneous compute delays >> the TDMA upload
+  /// floor) and Fig.-3 savings (slack within delay-clustered cohorts).
+  /// See DESIGN.md §3 and EXPERIMENTS.md for the sensitivity sweep.
+  double compute_scale = 12.5;
+  double tx_power_w = 0.2;         ///< p_q
+  double bandwidth_hz = 2e6;       ///< Z (total RBs)
+  double noise_w = 1e-9;           ///< N0
+  double gain_sq_low = 3e-8;       ///< h^2 ~ log-uniform(low, high); paper does
+  double gain_sq_high = 3e-7;      ///< not give gains, see DESIGN.md
+
+  // --- scheduling ---
+  Scheme scheme = Scheme::kHelcfl;
+  double fraction = 0.1;           ///< C
+  double eta = 0.9;                ///< HELCFL decay coefficient
+  double fedcs_deadline_s = 0.0;   ///< 0 = auto (round time of the N fastest)
+  double fedl_kappa = 0.2;         ///< FEDL delay weight (J/s)
+
+  // --- training loop ---
+  fl::TrainerOptions trainer;      ///< rounds, lr, C_model, deadline, ...
+  std::size_t sl_eval_every = 10;  ///< SL evaluates Q models: keep sparse
+  std::size_t sl_eval_users = 20;
+
+  // --- reproducibility ---
+  std::uint64_t seed = 42;  ///< master seed; dataset/fleet/init are forked
+                            ///< sub-streams so all schemes share them
+
+  /// Throws std::invalid_argument if any field is inconsistent.
+  void validate() const;
+};
+
+/// The configuration used by the paper's evaluation (Section VII-A) with
+/// our documented substitutions: Q=100, C=0.1, J=300, MLP on synthetic
+/// CIFAR-10, C_model = 4 Mb.
+ExperimentConfig paper_config();
+
+}  // namespace helcfl::sim

@@ -1,0 +1,40 @@
+#include "sim/fleet.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace helcfl::sim {
+
+std::vector<mec::Device> make_fleet(const ExperimentConfig& config,
+                                    std::span<const std::size_t> samples_per_user,
+                                    util::Rng& rng) {
+  if (samples_per_user.size() != config.n_users) {
+    throw std::invalid_argument("make_fleet: samples_per_user size mismatch");
+  }
+  std::vector<mec::Device> fleet;
+  fleet.reserve(config.n_users);
+  for (std::size_t i = 0; i < config.n_users; ++i) {
+    mec::Device device;
+    device.id = i;
+    device.f_min_hz = config.f_min_hz;
+    device.f_max_hz = rng.uniform(config.f_max_low_hz, config.f_max_high_hz);
+    if (device.f_max_hz < device.f_min_hz) device.f_max_hz = device.f_min_hz;
+    device.switched_capacitance = config.switched_capacitance;
+    device.cycles_per_sample = config.cycles_per_sample * config.compute_scale;
+    device.num_samples = samples_per_user[i];
+    device.tx_power_w = config.tx_power_w;
+    // Log-uniform gains: heterogeneity in upload rate matching the spread
+    // of a cell with users at different distances from the base station.
+    const double log_low = std::log(config.gain_sq_low);
+    const double log_high = std::log(config.gain_sq_high);
+    device.channel_gain_sq = std::exp(rng.uniform(log_low, log_high));
+    fleet.push_back(device);
+  }
+  return fleet;
+}
+
+mec::Channel make_channel(const ExperimentConfig& config) {
+  return {config.bandwidth_hz, config.noise_w};
+}
+
+}  // namespace helcfl::sim

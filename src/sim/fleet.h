@@ -1,0 +1,24 @@
+// Heterogeneous device fleet generation (Section VII-A).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mec/channel.h"
+#include "mec/device.h"
+#include "sim/config.h"
+#include "util/rng.h"
+
+namespace helcfl::sim {
+
+/// Draws Q devices: f_max uniform in (f_max_low, f_max_high), channel gain
+/// h^2 log-uniform in [gain_sq_low, gain_sq_high], and the per-user sample
+/// counts taken from `samples_per_user` (so Eq. (4) and Eq. (18) agree).
+std::vector<mec::Device> make_fleet(const ExperimentConfig& config,
+                                    std::span<const std::size_t> samples_per_user,
+                                    util::Rng& rng);
+
+/// The shared uplink of the configured MEC system.
+mec::Channel make_channel(const ExperimentConfig& config);
+
+}  // namespace helcfl::sim

@@ -1,0 +1,83 @@
+#include "sim/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/csv.h"
+
+namespace helcfl::sim {
+
+namespace {
+std::string fixed2(double value, const char* suffix) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.2f%s", value, suffix);
+  return buffer;
+}
+}  // namespace
+
+std::string format_minutes(double seconds) { return fixed2(seconds / 60.0, "min"); }
+
+std::string format_minutes_or_x(const std::optional<double>& seconds) {
+  return seconds ? format_minutes(*seconds) : "X";
+}
+
+std::string format_joules(double joules) { return fixed2(joules, "J"); }
+
+std::string format_joules_or_x(const std::optional<double>& joules) {
+  return joules ? format_joules(*joules) : "X";
+}
+
+std::string format_percent(double fraction) { return fixed2(fraction * 100.0, "%"); }
+
+void write_history_csv(const std::string& path, const fl::TrainingHistory& history) {
+  util::CsvWriter csv(path, {"round", "cum_delay_s", "cum_energy_j", "train_loss",
+                             "test_loss", "test_accuracy"});
+  for (const auto& r : history.rounds()) {
+    csv.write_row({util::CsvWriter::field(r.round), util::CsvWriter::field(r.cum_delay_s),
+                   util::CsvWriter::field(r.cum_energy_j),
+                   util::CsvWriter::field(r.train_loss),
+                   r.evaluated ? util::CsvWriter::field(r.test_loss) : "",
+                   r.evaluated ? util::CsvWriter::field(r.test_accuracy) : ""});
+  }
+}
+
+double accuracy_at_round(const fl::TrainingHistory& history, std::size_t round) {
+  double accuracy = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& r : history.rounds()) {
+    if (r.round > round) break;
+    if (r.evaluated) accuracy = r.test_accuracy;
+  }
+  return accuracy;
+}
+
+void print_accuracy_curves(std::span<const std::string> labels,
+                           std::span<const fl::TrainingHistory> histories,
+                           std::size_t checkpoints) {
+  if (labels.size() != histories.size() || histories.empty() || checkpoints == 0) {
+    return;
+  }
+  std::size_t max_round = 0;
+  for (const auto& h : histories) {
+    if (!h.empty()) max_round = std::max(max_round, h.back().round);
+  }
+
+  std::printf("%-8s", "round");
+  for (const auto& label : labels) std::printf("  %12s", label.c_str());
+  std::printf("\n");
+  for (std::size_t k = 1; k <= checkpoints; ++k) {
+    const std::size_t round = max_round * k / checkpoints;
+    std::printf("%-8zu", round);
+    for (const auto& h : histories) {
+      const double accuracy = accuracy_at_round(h, round);
+      if (std::isnan(accuracy)) {
+        std::printf("  %12s", "-");
+      } else {
+        std::printf("  %11.2f%%", accuracy * 100.0);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace helcfl::sim

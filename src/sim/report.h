@@ -1,0 +1,41 @@
+// Console/CSV reporting helpers shared by the benches and examples.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/metrics.h"
+
+namespace helcfl::sim {
+
+/// "6.82min" for 409.2 s; fixed two decimals.
+std::string format_minutes(double seconds);
+
+/// format_minutes for a reached target, the paper's "X" otherwise.
+std::string format_minutes_or_x(const std::optional<double>& seconds);
+
+/// "123.4J" with two decimals.
+std::string format_joules(double joules);
+std::string format_joules_or_x(const std::optional<double>& joules);
+
+/// "87.31%" for 0.8731.
+std::string format_percent(double fraction);
+
+/// Writes one history to CSV with the columns
+/// round,cum_delay_s,cum_energy_j,train_loss,test_loss,test_accuracy
+/// (test columns empty on rounds without evaluation).
+void write_history_csv(const std::string& path, const fl::TrainingHistory& history);
+
+/// Prints a fixed-width table row set: the accuracy of each scheme at
+/// evenly spaced checkpoints (for Fig. 2-style curves on the console).
+/// `labels` and `histories` are index-aligned.
+void print_accuracy_curves(std::span<const std::string> labels,
+                           std::span<const fl::TrainingHistory> histories,
+                           std::size_t checkpoints);
+
+/// Accuracy of the last evaluated round at or before `round` (NaN if none).
+double accuracy_at_round(const fl::TrainingHistory& history, std::size_t round);
+
+}  // namespace helcfl::sim

@@ -1,0 +1,154 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/helcfl_scheduler.h"
+#include "data/synthetic_cifar.h"
+#include "fl/separated.h"
+#include "fl/trainer.h"
+#include "nn/serialize.h"
+#include "sched/fedcs.h"
+#include "sched/fedl.h"
+#include "sched/random_selection.h"
+#include "sim/fleet.h"
+#include "util/log.h"
+
+namespace helcfl::sim {
+
+namespace {
+
+// Fixed sub-stream ids off the master seed; every scheme sees the same
+// dataset, partition, fleet, and model initialization.
+constexpr std::uint64_t kDatasetStream = 1;
+constexpr std::uint64_t kPartitionStream = 2;
+constexpr std::uint64_t kFleetStream = 3;
+constexpr std::uint64_t kModelStream = 4;
+constexpr std::uint64_t kStrategyStream = 5;
+constexpr std::uint64_t kTrainingStream = 6;
+
+}  // namespace
+
+double auto_fedcs_deadline(const sched::FleetView& fleet, double fraction) {
+  // FedCS tries to pack as many users as possible into the deadline; give
+  // it headroom for roughly twice the nominal cohort of fastest users, the
+  // regime where its greedy "short delays first" behaviour shows both its
+  // early speed and its accuracy ceiling (Section VII-C).
+  const std::size_t n =
+      sched::selection_count(fleet.users.size(), std::min(1.0, 2.0 * fraction));
+  std::vector<std::size_t> order(fleet.users.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fleet.users[a].total_delay_max_s() < fleet.users[b].total_delay_max_s();
+  });
+  order.resize(n);
+  return sched::estimate_round_time(fleet, order);
+}
+
+std::unique_ptr<sched::SelectionStrategy> make_strategy(const ExperimentConfig& config,
+                                                        const sched::FleetView& fleet) {
+  util::Rng strategy_rng = util::Rng(config.seed).fork(kStrategyStream);
+  switch (config.scheme) {
+    case Scheme::kHelcfl: {
+      core::HelcflOptions options;
+      options.fraction = config.fraction;
+      options.eta = config.eta;
+      options.enable_dvfs = true;
+      return std::make_unique<core::HelcflScheduler>(options);
+    }
+    case Scheme::kHelcflNoDvfs: {
+      core::HelcflOptions options;
+      options.fraction = config.fraction;
+      options.eta = config.eta;
+      options.enable_dvfs = false;
+      return std::make_unique<core::HelcflScheduler>(options);
+    }
+    case Scheme::kClassicFl:
+      return std::make_unique<sched::RandomSelection>(config.fraction, strategy_rng);
+    case Scheme::kFedCs: {
+      const double deadline = config.fedcs_deadline_s > 0.0
+                                  ? config.fedcs_deadline_s
+                                  : auto_fedcs_deadline(fleet, config.fraction);
+      return std::make_unique<sched::FedCsSelection>(deadline);
+    }
+    case Scheme::kFedl:
+      return std::make_unique<sched::FedlSelection>(config.fraction, config.fedl_kappa,
+                                                    strategy_rng);
+    case Scheme::kSl:
+      return nullptr;
+  }
+  throw std::invalid_argument("make_strategy: bad scheme");
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  config.validate();
+  const util::Rng master(config.seed);
+
+  // Workload: dataset, then per-user partition.
+  util::Rng dataset_rng = master.fork(kDatasetStream);
+  const data::TrainTestSplit split =
+      data::make_synthetic_cifar(config.dataset, dataset_rng);
+
+  util::Rng partition_rng = master.fork(kPartitionStream);
+  data::Partition partition;
+  if (config.noniid) {
+    partition = data::shard_noniid_partition(split.train.labels(), config.n_users,
+                                             config.shards_per_user, partition_rng);
+  } else {
+    partition = data::iid_partition(split.train.size(), config.n_users, partition_rng);
+  }
+
+  // Fleet: the per-user |D_q| ties the delay/energy model to the data.
+  std::vector<std::size_t> samples_per_user;
+  samples_per_user.reserve(partition.size());
+  for (const auto& slice : partition) samples_per_user.push_back(slice.size());
+  util::Rng fleet_rng = master.fork(kFleetStream);
+  const std::vector<mec::Device> devices =
+      make_fleet(config, samples_per_user, fleet_rng);
+  const mec::Channel channel = make_channel(config);
+
+  // Model: identical initialization across schemes.
+  util::Rng model_rng = master.fork(kModelStream);
+  const std::unique_ptr<nn::Sequential> model = nn::make_model(
+      config.model, split.train.spec(), config.dataset.num_classes, model_rng);
+
+  ExperimentResult result;
+  result.scheme = scheme_name(config.scheme);
+  result.model_parameters = nn::parameter_count(*model);
+  result.n_users = config.n_users;
+
+  if (config.scheme == Scheme::kSl) {
+    fl::SeparatedOptions options;
+    options.max_rounds = config.trainer.max_rounds;
+    options.client = config.trainer.client;
+    options.eval_every = config.sl_eval_every;
+    options.eval_user_sample = config.sl_eval_users;
+    options.eval_batch = config.trainer.eval_batch;
+    options.seed = master.fork(kTrainingStream).next_u64();
+    result.history = fl::train_separated(*model, split.train, split.test, partition,
+                                         devices, options);
+    return result;
+  }
+
+  fl::TrainerOptions trainer_options = config.trainer;
+  trainer_options.seed = master.fork(kTrainingStream).next_u64();
+
+  // The strategy needs the FLCC's fleet view (for FedCS's auto deadline);
+  // build it the same way the trainer will.
+  const std::vector<sched::UserInfo> users =
+      sched::build_user_info(devices, channel, trainer_options.model_size_bits);
+  const std::unique_ptr<sched::SelectionStrategy> strategy =
+      make_strategy(config, {users});
+  if (config.scheme == Scheme::kFedCs) {
+    result.fedcs_deadline_s =
+        static_cast<sched::FedCsSelection&>(*strategy).deadline_s();
+  }
+
+  fl::FederatedTrainer trainer(*model, split.train, split.test, partition, devices,
+                               channel, *strategy, trainer_options);
+  result.history = trainer.run();
+  return result;
+}
+
+}  // namespace helcfl::sim

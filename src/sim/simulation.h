@@ -1,0 +1,43 @@
+// End-to-end experiment driver: config -> dataset -> partition -> fleet ->
+// scheduler -> trainer -> history.
+//
+// All randomness is forked from the master seed into fixed sub-streams
+// (dataset, partition, fleet, model init, training), so two configs that
+// differ only in `scheme` train on identical data, devices, and initial
+// weights — the comparisons of Fig. 2 / Table I / Fig. 3 are paired.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/partition.h"
+#include "fl/metrics.h"
+#include "sched/scheduler.h"
+#include "sim/config.h"
+
+namespace helcfl::sim {
+
+/// Everything a bench or example needs after a run.
+struct ExperimentResult {
+  std::string scheme;            ///< scheme_name(config.scheme)
+  fl::TrainingHistory history;
+  std::size_t model_parameters = 0;
+  std::size_t n_users = 0;
+  double fedcs_deadline_s = 0.0; ///< the deadline FedCS actually used (auto-resolved)
+};
+
+/// Runs one experiment to completion.  Throws on invalid configuration.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// The auto deadline used for FedCS when config.fedcs_deadline_s == 0: the
+/// estimated TDMA round time of the N fastest users at f_max, where
+/// N = selection_count(Q, C).  Exposed for tests/benches.
+double auto_fedcs_deadline(const sched::FleetView& fleet, double fraction);
+
+/// Builds the strategy for `config` (nullptr for Scheme::kSl, which does
+/// not go through the SelectionStrategy interface).  `fleet` is only used
+/// to resolve the FedCS auto deadline.
+std::unique_ptr<sched::SelectionStrategy> make_strategy(const ExperimentConfig& config,
+                                                        const sched::FleetView& fleet);
+
+}  // namespace helcfl::sim

@@ -1,0 +1,123 @@
+#include "tensor/ops.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace helcfl::tensor {
+
+void add_inplace(std::span<float> y, std::span<const float> x) {
+  assert(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+}
+
+void sub_inplace(std::span<float> y, std::span<const float> x) {
+  assert(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] -= x[i];
+}
+
+void scale_inplace(std::span<float> y, float s) {
+  for (auto& v : y) v *= s;
+}
+
+void axpy(float a, std::span<const float> x, std::span<float> y) {
+  assert(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += static_cast<double>(a[i]) * b[i];
+  return sum;
+}
+
+double squared_norm(std::span<const float> a) { return dot(a, a); }
+
+void gemm(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
+          std::span<const float> b, std::span<float> c) {
+  assert(a.size() == m * k && b.size() == k * n && c.size() == m * n);
+  for (auto& v : c) v = 0.0F;
+  gemm_accumulate(m, k, n, a, b, c);
+}
+
+void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
+                     std::span<const float> a, std::span<const float> b,
+                     std::span<float> c) {
+  assert(a.size() == m * k && b.size() == k * n && c.size() == m * n);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // B and C, which the compiler auto-vectorizes.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* c_row = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float a_ik = a_row[kk];
+      if (a_ik == 0.0F) continue;
+      const float* b_row = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+    }
+  }
+}
+
+void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
+               std::span<const float> b, std::span<float> c) {
+  assert(a.size() == k * m && b.size() == k * n && c.size() == m * n);
+  for (auto& v : c) v = 0.0F;
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* a_row = a.data() + kk * m;  // row kk of A holds column kk of A^T
+    const float* b_row = b.data() + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float a_ki = a_row[i];
+      if (a_ki == 0.0F) continue;
+      float* c_row = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
+    }
+  }
+}
+
+void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
+               std::span<const float> b, std::span<float> c) {
+  assert(a.size() == m * k && b.size() == n * k && c.size() == m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* c_row = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b.data() + j * k;
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        sum += static_cast<double>(a_row[kk]) * b_row[kk];
+      }
+      c_row[j] = static_cast<float>(sum);
+    }
+  }
+}
+
+namespace {
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape().to_string() + " vs " + b.shape().to_string());
+  }
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "tensor::add");
+  Tensor out = a;
+  add_inplace(out.data(), b.data());
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "tensor::sub");
+  Tensor out = a;
+  sub_inplace(out.data(), b.data());
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  scale_inplace(out.data(), s);
+  return out;
+}
+
+}  // namespace helcfl::tensor

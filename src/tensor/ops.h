@@ -1,0 +1,57 @@
+// Math kernels on raw float spans and on Tensors.
+//
+// Layers in src/nn call these instead of hand-rolling loops so the hot
+// paths live in one place (and are covered by the micro-benchmarks).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace helcfl::tensor {
+
+/// y[i] += x[i].  Spans must be the same length.
+void add_inplace(std::span<float> y, std::span<const float> x);
+
+/// y[i] -= x[i].
+void sub_inplace(std::span<float> y, std::span<const float> x);
+
+/// y[i] *= s.
+void scale_inplace(std::span<float> y, float s);
+
+/// y[i] += a * x[i].
+void axpy(float a, std::span<const float> x, std::span<float> y);
+
+/// Inner product.
+double dot(std::span<const float> a, std::span<const float> b);
+
+/// Squared L2 norm.
+double squared_norm(std::span<const float> a);
+
+/// C[M,N] = A[M,K] * B[K,N].  C is overwritten.
+void gemm(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
+          std::span<const float> b, std::span<float> c);
+
+/// C[M,N] += A[M,K] * B[K,N].
+void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
+                     std::span<const float> a, std::span<const float> b,
+                     std::span<float> c);
+
+/// C[M,N] = A^T[M,K] * B[K,N] where A is stored as [K,M].
+void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
+               std::span<const float> b, std::span<float> c);
+
+/// C[M,N] = A[M,K] * B^T[K,N] where B is stored as [N,K].
+void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
+               std::span<const float> b, std::span<float> c);
+
+/// Elementwise tensor sum; shapes must match.
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// Elementwise tensor difference; shapes must match.
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// Scalar multiple.
+Tensor scale(const Tensor& a, float s);
+
+}  // namespace helcfl::tensor

@@ -1,0 +1,36 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace helcfl::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+std::string_view tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::cerr << "[" << tag(level) << "] " << message << '\n';
+}
+
+void log_debug(std::string_view message) { log(LogLevel::kDebug, message); }
+void log_info(std::string_view message) { log(LogLevel::kInfo, message); }
+void log_warn(std::string_view message) { log(LogLevel::kWarn, message); }
+void log_error(std::string_view message) { log(LogLevel::kError, message); }
+
+}  // namespace helcfl::util

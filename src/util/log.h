@@ -1,0 +1,27 @@
+// Small leveled logger for simulation progress output.
+//
+// Not a general-purpose logging framework: single-threaded simulation code
+// only needs a global level filter and stderr sink.
+#pragma once
+
+#include <string_view>
+
+namespace helcfl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Current global level.
+LogLevel log_level();
+
+/// Emits `message` to stderr with a level tag if `level` passes the filter.
+void log(LogLevel level, std::string_view message);
+
+void log_debug(std::string_view message);
+void log_info(std::string_view message);
+void log_warn(std::string_view message);
+void log_error(std::string_view message);
+
+}  // namespace helcfl::util

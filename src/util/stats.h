@@ -1,0 +1,46 @@
+// Descriptive statistics helpers used by metrics reporting and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace helcfl::util {
+
+/// Arithmetic mean.  Returns 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Population variance (divides by N).  Returns 0 for fewer than 1 element.
+double variance(std::span<const double> values);
+
+/// Population standard deviation.
+double stddev(std::span<const double> values);
+
+/// Minimum / maximum.  Require a non-empty span.
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100].  Requires non-empty span.
+/// Copies and sorts internally; O(n log n).
+double percentile(std::span<const double> values, double p);
+
+/// Welford online accumulator for mean/variance without storing samples.
+class RunningStat {
+ public:
+  void push(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace helcfl::util

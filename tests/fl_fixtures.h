@@ -1,0 +1,72 @@
+// Shared helpers for the FL/scheduling tests: tiny datasets, fleets, and
+// fleet views with controlled delays.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic_cifar.h"
+#include "mec/channel.h"
+#include "mec/device.h"
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace helcfl::testing {
+
+/// A small learnable dataset (10 classes, 8x8x3) for integration tests.
+inline data::TrainTestSplit tiny_split(std::size_t train = 400, std::size_t test = 200,
+                                       std::uint64_t seed = 100) {
+  data::SyntheticCifarOptions options;
+  options.train_samples = train;
+  options.test_samples = test;
+  util::Rng rng(seed);
+  return data::make_synthetic_cifar(options, rng);
+}
+
+/// A device with the paper's constants and the given f_max / gain.
+inline mec::Device make_device(std::size_t id, double f_max_ghz,
+                               std::size_t num_samples, double gain_sq = 1e-7) {
+  mec::Device d;
+  d.id = id;
+  d.f_min_hz = 0.3e9;
+  d.f_max_hz = f_max_ghz * 1e9;
+  d.switched_capacitance = 2e-28;
+  d.cycles_per_sample = 1e7;
+  d.num_samples = num_samples;
+  d.tx_power_w = 0.2;
+  d.channel_gain_sq = gain_sq;
+  return d;
+}
+
+inline mec::Channel paper_channel() { return {2e6, 1e-9}; }
+
+/// A fleet of n devices with f_max spread linearly over [0.4, 2.0] GHz.
+inline std::vector<mec::Device> linear_fleet(std::size_t n,
+                                             std::size_t samples_each = 20) {
+  std::vector<mec::Device> fleet;
+  fleet.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f_max =
+        0.4 + 1.6 * static_cast<double>(i) / std::max<std::size_t>(1, n - 1);
+    fleet.push_back(make_device(i, f_max, samples_each));
+  }
+  return fleet;
+}
+
+/// UserInfo entries with directly specified delays (device fields filled
+/// with paper constants; t_cal/t_com overridden).
+inline std::vector<sched::UserInfo> users_with_delays(
+    const std::vector<std::pair<double, double>>& cal_com) {
+  std::vector<sched::UserInfo> users;
+  users.reserve(cal_com.size());
+  for (std::size_t i = 0; i < cal_com.size(); ++i) {
+    sched::UserInfo info;
+    info.device = make_device(i, 2.0, 20);
+    info.t_cal_max_s = cal_com[i].first;
+    info.t_com_s = cal_com[i].second;
+    users.push_back(info);
+  }
+  return users;
+}
+
+}  // namespace helcfl::testing

@@ -1,0 +1,65 @@
+#include "mec/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace helcfl::mec {
+namespace {
+
+Device device_with_gain(double gain_sq) {
+  Device d;
+  d.tx_power_w = 0.2;
+  d.channel_gain_sq = gain_sq;
+  return d;
+}
+
+TEST(Channel, SnrFormula) {
+  const Channel channel{2e6, 1e-9};
+  const Device d = device_with_gain(1e-7);
+  EXPECT_DOUBLE_EQ(channel.snr(d), 0.2 * 1e-7 / 1e-9);  // = 20
+}
+
+TEST(Channel, UploadRateIsShannon) {
+  const Channel channel{2e6, 1e-9};
+  const Device d = device_with_gain(1e-7);
+  EXPECT_DOUBLE_EQ(channel.upload_rate_bps(d), 2e6 * std::log2(1.0 + 20.0));
+}
+
+TEST(Channel, RateGrowsWithBandwidth) {
+  const Device d = device_with_gain(1e-7);
+  const Channel narrow{1e6, 1e-9};
+  const Channel wide{4e6, 1e-9};
+  EXPECT_DOUBLE_EQ(wide.upload_rate_bps(d), 4.0 * narrow.upload_rate_bps(d));
+}
+
+TEST(Channel, RateGrowsWithGain) {
+  const Channel channel{2e6, 1e-9};
+  EXPECT_LT(channel.upload_rate_bps(device_with_gain(1e-8)),
+            channel.upload_rate_bps(device_with_gain(1e-6)));
+}
+
+TEST(Channel, RateShrinksWithNoise) {
+  const Device d = device_with_gain(1e-7);
+  const Channel quiet{2e6, 1e-10};
+  const Channel loud{2e6, 1e-8};
+  EXPECT_GT(quiet.upload_rate_bps(d), loud.upload_rate_bps(d));
+}
+
+TEST(Channel, ZeroSnrLimitGivesZeroRate) {
+  const Channel channel{2e6, 1e-9};
+  Device d = device_with_gain(1e-30);  // vanishing gain
+  EXPECT_NEAR(channel.upload_rate_bps(d), 0.0, 1.0);
+}
+
+TEST(Channel, PaperScaleRateIsMegabitPerSecond) {
+  // With the DESIGN.md defaults the uplink lands in the Mb/s regime, which
+  // puts the 4 Mb model upload at sub-second to a-few-seconds.
+  const Channel channel{2e6, 1e-9};
+  const double rate = channel.upload_rate_bps(device_with_gain(1e-7));
+  EXPECT_GT(rate, 1e6);
+  EXPECT_LT(rate, 1e8);
+}
+
+}  // namespace
+}  // namespace helcfl::mec

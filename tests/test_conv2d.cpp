@@ -1,0 +1,137 @@
+#include "nn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace helcfl::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Conv2D, OutputShapeNoPadding) {
+  util::Rng rng(1);
+  Conv2D conv(3, 8, /*kernel_size=*/3, /*stride=*/1, /*padding=*/0, rng);
+  const Tensor y = conv.forward(Tensor(Shape{2, 3, 8, 8}), false);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 6, 6}));
+}
+
+TEST(Conv2D, OutputShapeSamePadding) {
+  util::Rng rng(1);
+  Conv2D conv(3, 4, 3, 1, 1, rng);
+  const Tensor y = conv.forward(Tensor(Shape{1, 3, 8, 8}), false);
+  EXPECT_EQ(y.shape(), Shape({1, 4, 8, 8}));
+}
+
+TEST(Conv2D, OutputShapeStride2) {
+  util::Rng rng(1);
+  Conv2D conv(1, 1, 3, 2, 1, rng);
+  const Tensor y = conv.forward(Tensor(Shape{1, 1, 8, 8}), false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 4, 4}));
+}
+
+TEST(Conv2D, RejectsWrongChannelCount) {
+  util::Rng rng(1);
+  Conv2D conv(3, 4, 3, 1, 1, rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 2, 8, 8}), false), std::invalid_argument);
+}
+
+TEST(Conv2D, RejectsTooSmallInput) {
+  util::Rng rng(1);
+  Conv2D conv(1, 1, 5, 1, 0, rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 1, 3, 3}), false), std::invalid_argument);
+}
+
+TEST(Conv2D, RejectsZeroStride) {
+  util::Rng rng(1);
+  EXPECT_THROW(Conv2D(1, 1, 3, 0, 0, rng), std::invalid_argument);
+}
+
+TEST(Conv2D, IdentityKernelPassesThrough) {
+  util::Rng rng(2);
+  Conv2D conv(1, 1, 1, 1, 0, rng);
+  load_parameters(conv, std::vector<float>{1.0F, 0.0F});  // weight=1, bias=0
+  const Tensor x = testing::random_input(Shape{1, 1, 4, 4}, 3);
+  const Tensor y = conv.forward(x, false);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2D, BoxKernelComputesNeighborhoodSum) {
+  util::Rng rng(4);
+  Conv2D conv(1, 1, 3, 1, 0, rng);
+  std::vector<float> weights(10, 1.0F);
+  weights[9] = 0.0F;  // bias
+  load_parameters(conv, weights);
+  Tensor x(Shape{1, 1, 3, 3});
+  x.fill(2.0F);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 18.0F);
+}
+
+TEST(Conv2D, BiasIsAddedPerOutputChannel) {
+  util::Rng rng(5);
+  Conv2D conv(1, 2, 1, 1, 0, rng);
+  load_parameters(conv, std::vector<float>{0.0F, 0.0F, 3.0F, -2.0F});
+  const Tensor y = conv.forward(Tensor(Shape{1, 1, 2, 2}), false);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(y.at(0, 0, i / 2, i % 2), 3.0F);
+    EXPECT_FLOAT_EQ(y.at(0, 1, i / 2, i % 2), -2.0F);
+  }
+}
+
+TEST(Conv2D, PaddingContributesZeros) {
+  util::Rng rng(6);
+  Conv2D conv(1, 1, 3, 1, 1, rng);
+  std::vector<float> weights(10, 1.0F);
+  weights[9] = 0.0F;
+  load_parameters(conv, weights);
+  Tensor x(Shape{1, 1, 3, 3});
+  x.fill(1.0F);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 9.0F);  // center: full window
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0F);  // corner: 2x2 valid window
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 6.0F);  // edge: 2x3 valid window
+}
+
+TEST(Conv2D, GradientCheckNoPadding) {
+  util::Rng rng(7);
+  Conv2D conv(2, 3, 3, 1, 0, rng);
+  testing::check_gradients(conv, testing::random_input(Shape{2, 2, 5, 5}, 8));
+}
+
+TEST(Conv2D, GradientCheckWithPadding) {
+  util::Rng rng(9);
+  Conv2D conv(2, 2, 3, 1, 1, rng);
+  testing::check_gradients(conv, testing::random_input(Shape{1, 2, 4, 4}, 10));
+}
+
+TEST(Conv2D, GradientCheckStride2) {
+  util::Rng rng(11);
+  Conv2D conv(1, 2, 3, 2, 1, rng);
+  testing::check_gradients(conv, testing::random_input(Shape{1, 1, 6, 6}, 12));
+}
+
+TEST(Conv2D, GradientCheck1x1) {
+  util::Rng rng(13);
+  Conv2D conv(3, 2, 1, 1, 0, rng);
+  testing::check_gradients(conv, testing::random_input(Shape{2, 3, 3, 3}, 14));
+}
+
+TEST(Conv2D, OutputExtentFormula) {
+  util::Rng rng(15);
+  const Conv2D conv(1, 1, 3, 2, 1, rng);
+  EXPECT_EQ(conv.output_extent(8), 4u);
+  EXPECT_EQ(conv.output_extent(7), 4u);
+}
+
+TEST(Conv2D, NameContainsGeometry) {
+  util::Rng rng(16);
+  EXPECT_EQ(Conv2D(3, 8, 3, 1, 1, rng).name(), "Conv2D(3->8, k=3, s=1, p=1)");
+}
+
+}  // namespace
+}  // namespace helcfl::nn

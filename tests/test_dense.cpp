@@ -1,0 +1,116 @@
+#include "nn/dense.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace helcfl::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Dense, OutputShape) {
+  util::Rng rng(1);
+  Dense layer(5, 3, rng);
+  const Tensor y = layer.forward(Tensor(Shape{4, 5}), false);
+  EXPECT_EQ(y.shape(), Shape({4, 3}));
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  util::Rng rng(1);
+  Dense layer(5, 3, rng);
+  EXPECT_THROW(layer.forward(Tensor(Shape{4, 6}), false), std::invalid_argument);
+}
+
+TEST(Dense, RejectsRank4Input) {
+  util::Rng rng(1);
+  Dense layer(5, 3, rng);
+  EXPECT_THROW(layer.forward(Tensor(Shape{1, 5, 1, 1}), false), std::invalid_argument);
+}
+
+TEST(Dense, ComputesAffineMap) {
+  util::Rng rng(2);
+  Dense layer(2, 2, rng);
+  // Overwrite weights to a known affine map: y = [[1, 2], [3, 4]] x + [10, 20].
+  load_parameters(layer, std::vector<float>{1, 2, 3, 4, 10, 20});
+  const Tensor x(Shape{1, 2}, {1.0F, 1.0F});
+  const Tensor y = layer.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 13.0F);  // 1*1 + 2*1 + 10
+  EXPECT_FLOAT_EQ(y.at(0, 1), 27.0F);  // 3*1 + 4*1 + 20
+}
+
+TEST(Dense, BiasInitializedToZero) {
+  util::Rng rng(3);
+  Dense layer(4, 2, rng);
+  const auto params = layer.params();
+  ASSERT_EQ(params.size(), 2u);
+  for (const float b : params[1].value) EXPECT_EQ(b, 0.0F);
+}
+
+TEST(Dense, HeInitializationScale) {
+  util::Rng rng(4);
+  Dense layer(1000, 100, rng);
+  const auto params = layer.params();
+  double sum_sq = 0.0;
+  for (const float w : params[0].value) sum_sq += static_cast<double>(w) * w;
+  const double var = sum_sq / static_cast<double>(params[0].value.size());
+  EXPECT_NEAR(var, 2.0 / 1000.0, 3e-4);
+}
+
+TEST(Dense, GradientCheck) {
+  util::Rng rng(5);
+  Dense layer(4, 3, rng);
+  testing::check_gradients(layer, testing::random_input(Shape{2, 4}, 99));
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwardCalls) {
+  util::Rng rng(6);
+  Dense layer(2, 2, rng);
+  const Tensor x = testing::random_input(Shape{1, 2}, 7);
+  layer.zero_grad();
+  (void)layer.forward(x, true);
+  Tensor dy(Shape{1, 2});
+  dy.fill(1.0F);
+  (void)layer.backward(dy);
+  const std::vector<float> grad_once = extract_gradients(layer);
+  (void)layer.forward(x, true);
+  (void)layer.backward(dy);
+  const std::vector<float> grad_twice = extract_gradients(layer);
+  for (std::size_t i = 0; i < grad_once.size(); ++i) {
+    EXPECT_NEAR(grad_twice[i], 2.0F * grad_once[i], 1e-5F);
+  }
+}
+
+TEST(Dense, ZeroGradClears) {
+  util::Rng rng(8);
+  Dense layer(2, 2, rng);
+  const Tensor x = testing::random_input(Shape{1, 2}, 9);
+  (void)layer.forward(x, true);
+  Tensor dy(Shape{1, 2});
+  dy.fill(1.0F);
+  (void)layer.backward(dy);
+  layer.zero_grad();
+  for (const float g : extract_gradients(layer)) EXPECT_EQ(g, 0.0F);
+}
+
+TEST(Dense, NameDescribesDimensions) {
+  util::Rng rng(10);
+  EXPECT_EQ(Dense(192, 64, rng).name(), "Dense(192->64)");
+}
+
+TEST(Dense, BatchRowsAreIndependent) {
+  util::Rng rng(11);
+  Dense layer(3, 2, rng);
+  Tensor x2(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor y2 = layer.forward(x2, false);
+  const Tensor x1(Shape{1, 3}, {4, 5, 6});
+  const Tensor y1 = layer.forward(x1, false);
+  EXPECT_FLOAT_EQ(y2.at(1, 0), y1.at(0, 0));
+  EXPECT_FLOAT_EQ(y2.at(1, 1), y1.at(0, 1));
+}
+
+}  // namespace
+}  // namespace helcfl::nn

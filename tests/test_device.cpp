@@ -1,0 +1,94 @@
+#include "mec/device.h"
+
+#include <gtest/gtest.h>
+
+namespace helcfl::mec {
+namespace {
+
+Device paper_device() {
+  Device d;
+  d.id = 3;
+  d.f_min_hz = 0.3e9;
+  d.f_max_hz = 2.0e9;
+  d.switched_capacitance = 2e-28;
+  d.cycles_per_sample = 1e7;
+  d.num_samples = 40;
+  d.tx_power_w = 0.2;
+  d.channel_gain_sq = 1e-7;
+  return d;
+}
+
+TEST(Device, TotalCycles) {
+  const Device d = paper_device();
+  EXPECT_DOUBLE_EQ(d.total_cycles(), 1e7 * 40);
+}
+
+TEST(Device, TotalCyclesZeroSamples) {
+  Device d = paper_device();
+  d.num_samples = 0;
+  EXPECT_DOUBLE_EQ(d.total_cycles(), 0.0);
+}
+
+TEST(Device, ClampWithinRangeIsIdentity) {
+  const Device d = paper_device();
+  EXPECT_DOUBLE_EQ(d.clamp_frequency(1.0e9), 1.0e9);
+}
+
+TEST(Device, ClampBelowMin) {
+  const Device d = paper_device();
+  EXPECT_DOUBLE_EQ(d.clamp_frequency(0.1e9), 0.3e9);
+}
+
+TEST(Device, ClampAboveMax) {
+  const Device d = paper_device();
+  EXPECT_DOUBLE_EQ(d.clamp_frequency(5.0e9), 2.0e9);
+}
+
+TEST(Device, ClampAtBounds) {
+  const Device d = paper_device();
+  EXPECT_DOUBLE_EQ(d.clamp_frequency(0.3e9), 0.3e9);
+  EXPECT_DOUBLE_EQ(d.clamp_frequency(2.0e9), 2.0e9);
+}
+
+TEST(Device, ValidDevice) {
+  EXPECT_TRUE(paper_device().is_valid());
+}
+
+TEST(Device, InvalidFrequencyRange) {
+  Device d = paper_device();
+  d.f_max_hz = 0.1e9;  // below f_min
+  EXPECT_FALSE(d.is_valid());
+  d = paper_device();
+  d.f_min_hz = 0.0;
+  EXPECT_FALSE(d.is_valid());
+}
+
+TEST(Device, InvalidPhysicalConstants) {
+  Device d = paper_device();
+  d.switched_capacitance = 0.0;
+  EXPECT_FALSE(d.is_valid());
+  d = paper_device();
+  d.cycles_per_sample = -1.0;
+  EXPECT_FALSE(d.is_valid());
+  d = paper_device();
+  d.tx_power_w = 0.0;
+  EXPECT_FALSE(d.is_valid());
+  d = paper_device();
+  d.channel_gain_sq = 0.0;
+  EXPECT_FALSE(d.is_valid());
+}
+
+TEST(Device, DegenerateRangeIsValid) {
+  Device d = paper_device();
+  d.f_max_hz = d.f_min_hz;
+  EXPECT_TRUE(d.is_valid());
+  EXPECT_DOUBLE_EQ(d.clamp_frequency(1e9), d.f_min_hz);
+}
+
+TEST(Device, ToStringMentionsId) {
+  const std::string s = paper_device().to_string();
+  EXPECT_NE(s.find("id=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace helcfl::mec

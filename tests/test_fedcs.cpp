@@ -1,0 +1,106 @@
+#include "sched/fedcs.h"
+
+#include <gtest/gtest.h>
+
+#include "fl_fixtures.h"
+#include "mec/tdma.h"
+
+namespace helcfl::sched {
+namespace {
+
+using testing::users_with_delays;
+
+TEST(FedCs, RejectsNonPositiveDeadline) {
+  EXPECT_THROW(FedCsSelection(0.0), std::invalid_argument);
+  EXPECT_THROW(FedCsSelection(-1.0), std::invalid_argument);
+}
+
+TEST(FedCs, SelectsFastUsersWithinDeadline) {
+  // Users: (t_cal, t_com).  Round time of first two fast users:
+  // TDMA = max(0.5, then serialized uploads).
+  const auto users = users_with_delays({{0.5, 1.0}, {1.0, 1.0}, {5.0, 1.0}});
+  FedCsSelection strategy(/*deadline_s=*/3.5);
+  const Decision d = strategy.decide({users}, 0);
+  // Estimated round for {0}: 1.5; for {0,1}: uploads serialize -> 3.0;
+  // adding user 2 -> >= 6.0 > deadline.
+  EXPECT_EQ(d.selected, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FedCs, GenerousDeadlineAdmitsEveryone) {
+  const auto users = users_with_delays({{0.5, 1.0}, {1.0, 1.0}, {5.0, 1.0}});
+  FedCsSelection strategy(/*deadline_s=*/100.0);
+  const Decision d = strategy.decide({users}, 0);
+  EXPECT_EQ(d.selected.size(), 3u);
+}
+
+TEST(FedCs, TightDeadlineStillAdmitsFastestUser) {
+  const auto users = users_with_delays({{2.0, 3.0}, {4.0, 3.0}});
+  FedCsSelection strategy(/*deadline_s=*/0.1);
+  const Decision d = strategy.decide({users}, 0);
+  EXPECT_EQ(d.selected, (std::vector<std::size_t>{0}));
+}
+
+TEST(FedCs, DecisionIsRoundInvariant) {
+  // FedCS is deterministic and stateless: every round picks the same set.
+  const auto users = users_with_delays({{0.5, 0.5}, {1.0, 0.5}, {2.0, 0.5}});
+  FedCsSelection strategy(3.0);
+  const Decision d0 = strategy.decide({users}, 0);
+  const Decision d100 = strategy.decide({users}, 100);
+  EXPECT_EQ(d0.selected, d100.selected);
+}
+
+TEST(FedCs, AllAtMaxFrequency) {
+  const auto users = users_with_delays({{0.5, 0.5}, {1.0, 0.5}});
+  FedCsSelection strategy(10.0);
+  const Decision d = strategy.decide({users}, 0);
+  for (std::size_t k = 0; k < d.selected.size(); ++k) {
+    EXPECT_DOUBLE_EQ(d.frequencies_hz[k], users[d.selected[k]].device.f_max_hz);
+  }
+}
+
+TEST(FedCs, MaxFractionCapsAdmissions) {
+  const auto users = users_with_delays(
+      {{0.1, 0.1}, {0.2, 0.1}, {0.3, 0.1}, {0.4, 0.1}, {0.5, 0.1}});
+  FedCsSelection strategy(/*deadline_s=*/100.0, /*max_fraction=*/0.4);
+  const Decision d = strategy.decide({users}, 0);
+  EXPECT_EQ(d.selected.size(), 2u);
+  EXPECT_EQ(d.selected, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FedCs, EstimateRoundTimeMatchesTdma) {
+  const auto users = users_with_delays({{0.5, 1.0}, {1.0, 2.0}});
+  const std::vector<std::size_t> members = {0, 1};
+  const double estimated = estimate_round_time({users}, members);
+  const std::vector<double> compute = {0.5, 1.0};
+  const std::vector<double> upload = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(estimated, mec::schedule_uploads(compute, upload).round_delay_s);
+}
+
+TEST(FedCs, SelectedRoundTimeIsWithinDeadline) {
+  const auto users = users_with_delays(
+      {{0.3, 0.4}, {0.6, 0.4}, {0.9, 0.4}, {1.2, 0.4}, {1.5, 0.4}, {4.0, 0.4}});
+  FedCsSelection strategy(2.5);
+  const Decision d = strategy.decide({users}, 0);
+  ASSERT_GT(d.selected.size(), 1u);
+  EXPECT_LE(estimate_round_time({users}, d.selected), 2.5);
+}
+
+TEST(FedCs, ExcludesSlowUsersForever) {
+  // The accuracy-ceiling mechanism (Section V-A): the slowest user never
+  // appears across many rounds.
+  const auto users =
+      users_with_delays({{0.3, 0.4}, {0.6, 0.4}, {0.9, 0.4}, {10.0, 0.4}});
+  FedCsSelection strategy(3.0);
+  for (std::size_t round = 0; round < 50; ++round) {
+    const Decision d = strategy.decide({users}, round);
+    for (const auto i : d.selected) EXPECT_NE(i, 3u);
+  }
+}
+
+TEST(FedCs, NameIsFedCS) {
+  FedCsSelection strategy(1.0);
+  EXPECT_EQ(strategy.name(), "FedCS");
+}
+
+}  // namespace
+}  // namespace helcfl::sched

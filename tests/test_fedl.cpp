@@ -1,0 +1,101 @@
+#include "sched/fedl.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "fl_fixtures.h"
+
+namespace helcfl::sched {
+namespace {
+
+std::vector<UserInfo> fleet_of(std::size_t n) {
+  const auto devices = testing::linear_fleet(n, 20);
+  return build_user_info(devices, testing::paper_channel(), 4e6);
+}
+
+TEST(Fedl, RejectsNonPositiveKappa) {
+  EXPECT_THROW(FedlSelection(0.1, 0.0, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(FedlSelection(0.1, -1.0, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(Fedl, ClosedFormFrequency) {
+  // f* = (kappa / alpha)^(1/3); kappa = 0.2, alpha = 2e-28 -> 1e9.
+  EXPECT_NEAR(FedlSelection::unconstrained_frequency(0.2, 2e-28), 1e9, 1.0);
+}
+
+TEST(Fedl, FrequencyGrowsWithKappa) {
+  EXPECT_LT(FedlSelection::unconstrained_frequency(0.1, 2e-28),
+            FedlSelection::unconstrained_frequency(1.0, 2e-28));
+}
+
+TEST(Fedl, SelectsRequestedFraction) {
+  const auto users = fleet_of(50);
+  FedlSelection strategy(0.2, 0.2, util::Rng(2));
+  const Decision d = strategy.decide({users}, 0);
+  EXPECT_EQ(d.selected.size(), 10u);
+  const std::set<std::size_t> unique(d.selected.begin(), d.selected.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Fedl, FrequenciesAreClampedIntoDvfsRange) {
+  const auto users = fleet_of(50);
+  // Huge kappa: f* far above every f_max -> all clamp to f_max.
+  FedlSelection fast(0.2, 1e6, util::Rng(3));
+  const Decision d_fast = fast.decide({users}, 0);
+  for (std::size_t k = 0; k < d_fast.selected.size(); ++k) {
+    EXPECT_DOUBLE_EQ(d_fast.frequencies_hz[k],
+                     users[d_fast.selected[k]].device.f_max_hz);
+  }
+  // Tiny kappa: f* below f_min -> all clamp to f_min.
+  FedlSelection slow(0.2, 1e-6, util::Rng(4));
+  const Decision d_slow = slow.decide({users}, 0);
+  for (std::size_t k = 0; k < d_slow.selected.size(); ++k) {
+    EXPECT_DOUBLE_EQ(d_slow.frequencies_hz[k],
+                     users[d_slow.selected[k]].device.f_min_hz);
+  }
+}
+
+TEST(Fedl, MidKappaGivesInteriorFrequency) {
+  const auto users = fleet_of(20);
+  FedlSelection strategy(0.5, 0.2, util::Rng(5));  // f* = 1 GHz
+  const Decision d = strategy.decide({users}, 0);
+  bool found_interior = false;
+  for (std::size_t k = 0; k < d.selected.size(); ++k) {
+    const auto& device = users[d.selected[k]].device;
+    if (device.f_max_hz > 1e9) {
+      EXPECT_NEAR(d.frequencies_hz[k], 1e9, 1.0);
+      found_interior = true;
+    }
+  }
+  EXPECT_TRUE(found_interior);
+}
+
+TEST(Fedl, SelectionMatchesClassicFlWithSameRng) {
+  // The paper: "FEDL takes the same user selection method as Classic FL".
+  const auto users = fleet_of(40);
+  FedlSelection fedl(0.25, 0.2, util::Rng(6));
+  sched::Decision d_fedl = fedl.decide({users}, 0);
+
+  util::Rng rng(6);
+  const auto expected = rng.sample_without_replacement(40, 10);
+  EXPECT_EQ(d_fedl.selected, expected);
+}
+
+TEST(Fedl, ResetReplaysSequence) {
+  const auto users = fleet_of(30);
+  FedlSelection strategy(0.2, 0.2, util::Rng(7));
+  const Decision first = strategy.decide({users}, 0);
+  (void)strategy.decide({users}, 1);
+  strategy.reset();
+  EXPECT_EQ(strategy.decide({users}, 0).selected, first.selected);
+}
+
+TEST(Fedl, NameIsFEDL) {
+  FedlSelection strategy(0.1, 0.2, util::Rng(8));
+  EXPECT_EQ(strategy.name(), "FEDL");
+}
+
+}  // namespace
+}  // namespace helcfl::sched

@@ -1,0 +1,100 @@
+// End-to-end gradient checks of whole models against finite differences of
+// the actual training loss (softmax cross-entropy), complementing the
+// per-layer checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/models.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace helcfl::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+double loss_at(Sequential& model, const Tensor& x,
+               std::span<const std::int32_t> labels) {
+  const Tensor logits = model.forward(x, false);
+  return softmax_cross_entropy(logits, labels).loss;
+}
+
+void check_model_gradients(ModelKind kind, double tolerance) {
+  util::Rng rng(17);
+  const ImageSpec spec{2, 6, 6};
+  auto model = make_model(kind, spec, 4, rng);
+
+  Tensor x(Shape{3, 2, 6, 6});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  const std::vector<std::int32_t> labels = {0, 2, 3};
+
+  model->zero_grad();
+  const Tensor logits = model->forward(x, true);
+  const LossResult loss = softmax_cross_entropy(logits, labels);
+  model->backward(loss.grad_logits);
+  const std::vector<float> analytic = extract_gradients(*model);
+
+  // Check a deterministic stride of parameters (full sweep is slow for the
+  // CNNs but the stride covers every tensor).
+  auto params = extract_parameters(*model);
+  const std::size_t stride = std::max<std::size_t>(1, params.size() / 150);
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < params.size(); i += stride) {
+    const float saved = params[i];
+    params[i] = saved + static_cast<float>(eps);
+    load_parameters(*model, params);
+    const double plus = loss_at(*model, x, labels);
+    params[i] = saved - static_cast<float>(eps);
+    load_parameters(*model, params);
+    const double minus = loss_at(*model, x, labels);
+    params[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    const double denom = std::max(1.0, std::abs(static_cast<double>(analytic[i])));
+    EXPECT_NEAR(analytic[i] / denom, numeric / denom, tolerance)
+        << "parameter " << i << " of " << model_kind_name(kind);
+  }
+  load_parameters(*model, params);
+}
+
+TEST(ModelGradients, Logistic) { check_model_gradients(ModelKind::kLogistic, 5e-3); }
+
+TEST(ModelGradients, Mlp) { check_model_gradients(ModelKind::kMlp, 2e-2); }
+
+TEST(ModelGradients, SmallCnn) { check_model_gradients(ModelKind::kSmallCnn, 5e-2); }
+
+TEST(ModelGradients, MiniSqueezeNet) {
+  check_model_gradients(ModelKind::kMiniSqueezeNet, 4e-2);
+}
+
+TEST(ModelGradients, MlpOverfitsTinyDataset) {
+  // A model whose gradients are correct must be able to memorize 12 points.
+  util::Rng rng(23);
+  const ImageSpec spec{1, 4, 4};
+  auto model = make_mlp(spec, 32, 3, rng);
+
+  Tensor x(Shape{12, 1, 4, 4});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  std::vector<std::int32_t> labels;
+  for (int i = 0; i < 12; ++i) labels.push_back(i % 3);
+
+  Sgd sgd({.learning_rate = 0.2F, .momentum = 0.9F});
+  double final_loss = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    model->zero_grad();
+    const Tensor logits = model->forward(x, true);
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    model->backward(loss.grad_logits);
+    sgd.step(model->params());
+    final_loss = loss.loss;
+  }
+  EXPECT_LT(final_loss, 0.05);
+  const Tensor logits = model->forward(x, false);
+  EXPECT_EQ(count_correct(logits, labels), 12u);
+}
+
+}  // namespace
+}  // namespace helcfl::nn

@@ -1,0 +1,132 @@
+#include "core/greedy_decay_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fl_fixtures.h"
+
+namespace helcfl::core {
+namespace {
+
+using testing::users_with_delays;
+
+TEST(GreedyDecay, RejectsBadParameters) {
+  EXPECT_THROW(GreedyDecaySelector(0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(GreedyDecaySelector(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(GreedyDecaySelector(0.0, 0.9), std::invalid_argument);
+  EXPECT_THROW(GreedyDecaySelector(1.5, 0.9), std::invalid_argument);
+}
+
+TEST(GreedyDecay, FirstRoundPicksFastestUsers) {
+  const auto users =
+      users_with_delays({{4.0, 0.5}, {1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}});
+  GreedyDecaySelector selector(0.5, 0.9);
+  const auto selected = selector.select({users});
+  const std::set<std::size_t> set(selected.begin(), selected.end());
+  EXPECT_EQ(set, (std::set<std::size_t>{1, 2}));
+}
+
+TEST(GreedyDecay, CountersTrackSelections) {
+  const auto users = users_with_delays({{1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}});
+  GreedyDecaySelector selector(0.34, 0.9);
+  (void)selector.select({users});
+  const auto counts = selector.appearance_counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(GreedyDecay, DecayEventuallyRotatesSlowUsersIn) {
+  // 1 fast + 1 slow user, select 1 per round: the slow user must appear
+  // once the fast user's utility decays below it.
+  const auto users = users_with_delays({{1.0, 0.0}, {4.0, 0.0}});
+  GreedyDecaySelector selector(0.5, 0.9);
+  std::size_t first_slow_round = 0;
+  for (std::size_t round = 0; round < 40; ++round) {
+    const auto selected = selector.select({users});
+    ASSERT_EQ(selected.size(), 1u);
+    if (selected[0] == 1) {
+      first_slow_round = round;
+      break;
+    }
+  }
+  // selections_until_overtaken(1, 4, 0.9) = 14.
+  EXPECT_EQ(first_slow_round, 14u);
+}
+
+TEST(GreedyDecay, AllUsersEventuallySelected) {
+  std::vector<std::pair<double, double>> delays;
+  for (std::size_t i = 0; i < 20; ++i) {
+    delays.push_back({0.5 + static_cast<double>(i), 0.5});
+  }
+  const auto users = users_with_delays(delays);
+  GreedyDecaySelector selector(0.1, 0.7);
+  std::set<std::size_t> ever_selected;
+  for (std::size_t round = 0; round < 100; ++round) {
+    for (const auto i : selector.select({users})) ever_selected.insert(i);
+  }
+  EXPECT_EQ(ever_selected.size(), 20u);
+}
+
+TEST(GreedyDecay, PureGreedyWouldStarveWithHighEta) {
+  // With eta close to 1 decay is slow: within a short horizon the slow
+  // user never appears (this is the FedCS-like degenerate regime that the
+  // ablation bench A3 quantifies).
+  const auto users = users_with_delays({{1.0, 0.0}, {50.0, 0.0}});
+  GreedyDecaySelector selector(0.5, 0.99);
+  for (std::size_t round = 0; round < 100; ++round) {
+    const auto selected = selector.select({users});
+    EXPECT_EQ(selected[0], 0u);
+  }
+}
+
+TEST(GreedyDecay, SelectionCountFollowsFraction) {
+  const auto users = users_with_delays(
+      {{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}, {6, 1}, {7, 1}, {8, 1}, {9, 1}, {10, 1}});
+  GreedyDecaySelector selector(0.3, 0.9);
+  EXPECT_EQ(selector.select({users}).size(), 3u);
+}
+
+TEST(GreedyDecay, ResetClearsCounters) {
+  const auto users = users_with_delays({{1.0, 0.5}, {2.0, 0.5}});
+  GreedyDecaySelector selector(0.5, 0.9);
+  const auto first = selector.select({users});
+  (void)selector.select({users});
+  selector.reset();
+  EXPECT_TRUE(selector.appearance_counts().empty());
+  EXPECT_EQ(selector.select({users}), first);
+}
+
+TEST(GreedyDecay, RejectsFleetSizeChange) {
+  const auto users_a = users_with_delays({{1.0, 0.5}, {2.0, 0.5}});
+  const auto users_b = users_with_delays({{1.0, 0.5}});
+  GreedyDecaySelector selector(0.5, 0.9);
+  (void)selector.select({users_a});
+  EXPECT_THROW(selector.select({users_b}), std::invalid_argument);
+}
+
+TEST(GreedyDecay, DeterministicTieBreakByIndex) {
+  const auto users = users_with_delays({{1.0, 0.5}, {1.0, 0.5}, {1.0, 0.5}});
+  GreedyDecaySelector selector(0.34, 0.9);
+  EXPECT_EQ(selector.select({users}), (std::vector<std::size_t>{0}));
+}
+
+TEST(GreedyDecay, LongRunParticipationIsBalanced) {
+  // Over many rounds the decay equalizes participation: the ratio between
+  // the most- and least-selected users stays small.
+  std::vector<std::pair<double, double>> delays;
+  for (std::size_t i = 0; i < 10; ++i) {
+    delays.push_back({0.5 + 0.4 * static_cast<double>(i), 0.5});
+  }
+  const auto users = users_with_delays(delays);
+  GreedyDecaySelector selector(0.2, 0.8);
+  for (std::size_t round = 0; round < 500; ++round) (void)selector.select({users});
+  const auto counts = selector.appearance_counts();
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*min_it, 0u);
+  EXPECT_LT(static_cast<double>(*max_it) / static_cast<double>(*min_it), 2.0);
+}
+
+}  // namespace
+}  // namespace helcfl::core

@@ -1,0 +1,130 @@
+#include "fl/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace helcfl::fl {
+namespace {
+
+RoundRecord record(std::size_t round, double cum_delay, double cum_energy,
+                   double accuracy, bool evaluated = true) {
+  RoundRecord r;
+  r.round = round;
+  r.cum_delay_s = cum_delay;
+  r.cum_energy_j = cum_energy;
+  r.evaluated = evaluated;
+  r.test_accuracy = accuracy;
+  return r;
+}
+
+TEST(TrainingHistory, EmptyDefaults) {
+  const TrainingHistory h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_DOUBLE_EQ(h.best_accuracy(), 0.0);
+  EXPECT_FALSE(h.time_to_accuracy(0.5).has_value());
+  EXPECT_DOUBLE_EQ(h.total_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_energy_j(), 0.0);
+}
+
+TEST(TrainingHistory, BestAccuracyIgnoresUnevaluatedRounds) {
+  TrainingHistory h;
+  h.add(record(0, 1.0, 1.0, 0.5));
+  h.add(record(1, 2.0, 2.0, 0.9, /*evaluated=*/false));
+  h.add(record(2, 3.0, 3.0, 0.7));
+  EXPECT_DOUBLE_EQ(h.best_accuracy(), 0.7);
+}
+
+TEST(TrainingHistory, BestAccuracyIsMaxNotLast) {
+  TrainingHistory h;
+  h.add(record(0, 1.0, 1.0, 0.8));
+  h.add(record(1, 2.0, 2.0, 0.6));
+  EXPECT_DOUBLE_EQ(h.best_accuracy(), 0.8);
+}
+
+TEST(TrainingHistory, TimeToAccuracyFirstCrossing) {
+  TrainingHistory h;
+  h.add(record(0, 10.0, 1.0, 0.3));
+  h.add(record(1, 20.0, 2.0, 0.6));
+  h.add(record(2, 30.0, 3.0, 0.8));
+  const auto t = h.time_to_accuracy(0.55);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 20.0);
+}
+
+TEST(TrainingHistory, TimeToAccuracyUnreachedIsNullopt) {
+  TrainingHistory h;
+  h.add(record(0, 10.0, 1.0, 0.3));
+  EXPECT_FALSE(h.time_to_accuracy(0.9).has_value());
+}
+
+TEST(TrainingHistory, TimeToAccuracyExactTargetCounts) {
+  TrainingHistory h;
+  h.add(record(0, 10.0, 1.0, 0.6));
+  const auto t = h.time_to_accuracy(0.6);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 10.0);
+}
+
+TEST(TrainingHistory, EnergyToAccuracy) {
+  TrainingHistory h;
+  h.add(record(0, 10.0, 5.0, 0.3));
+  h.add(record(1, 20.0, 12.0, 0.7));
+  const auto e = h.energy_to_accuracy(0.65);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(*e, 12.0);
+}
+
+TEST(TrainingHistory, SelectionCounts) {
+  TrainingHistory h;
+  RoundRecord r0 = record(0, 1.0, 1.0, 0.1);
+  r0.selected = {0, 2};
+  RoundRecord r1 = record(1, 2.0, 2.0, 0.2);
+  r1.selected = {2, 3};
+  h.add(r0);
+  h.add(r1);
+  EXPECT_EQ(h.selection_counts(4), (std::vector<std::size_t>{1, 0, 2, 1}));
+}
+
+TEST(TrainingHistory, SelectionCountsIgnoresOutOfRange) {
+  TrainingHistory h;
+  RoundRecord r = record(0, 1.0, 1.0, 0.1);
+  r.selected = {0, 9};
+  h.add(r);
+  EXPECT_EQ(h.selection_counts(2), (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(TrainingHistory, FairnessOneWhenUniform) {
+  TrainingHistory h;
+  RoundRecord r = record(0, 1.0, 1.0, 0.1);
+  r.selected = {0, 1, 2, 3};
+  h.add(r);
+  EXPECT_NEAR(h.selection_fairness(4), 1.0, 1e-12);
+}
+
+TEST(TrainingHistory, FairnessLowWhenConcentrated) {
+  TrainingHistory h;
+  for (std::size_t round = 0; round < 10; ++round) {
+    RoundRecord r = record(round, 1.0, 1.0, 0.1);
+    r.selected = {0};
+    h.add(r);
+  }
+  // All selections on 1 of 10 users: Jain index = 1/10.
+  EXPECT_NEAR(h.selection_fairness(10), 0.1, 1e-12);
+}
+
+TEST(TrainingHistory, FairnessOfEmptyHistoryIsOne) {
+  const TrainingHistory h;
+  EXPECT_DOUBLE_EQ(h.selection_fairness(5), 1.0);
+}
+
+TEST(TrainingHistory, TotalsComeFromLastRound) {
+  TrainingHistory h;
+  h.add(record(0, 10.0, 100.0, 0.1));
+  h.add(record(1, 25.0, 180.0, 0.2));
+  EXPECT_DOUBLE_EQ(h.total_delay_s(), 25.0);
+  EXPECT_DOUBLE_EQ(h.total_energy_j(), 180.0);
+  EXPECT_EQ(h.back().round, 1u);
+}
+
+}  // namespace
+}  // namespace helcfl::fl

@@ -1,0 +1,150 @@
+#include "sched/oort.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fl_fixtures.h"
+
+namespace helcfl::sched {
+namespace {
+
+std::vector<UserInfo> fleet_of(std::size_t n) {
+  const auto devices = testing::linear_fleet(n, 20);
+  return build_user_info(devices, testing::paper_channel(), 4e6);
+}
+
+TEST(Oort, RejectsBadOptions) {
+  EXPECT_THROW(OortSelection({.fraction = 0.0}, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(OortSelection({.alpha = -1.0}, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(OortSelection({.explore_ratio = 1.5}, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Oort, SelectsRequestedFraction) {
+  const auto users = fleet_of(40);
+  OortSelection strategy({.fraction = 0.25}, util::Rng(2));
+  const Decision d = strategy.decide({users}, 0);
+  EXPECT_EQ(d.selected.size(), 10u);
+  const std::set<std::size_t> unique(d.selected.begin(), d.selected.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Oort, RunsAtMaxFrequency) {
+  const auto users = fleet_of(20);
+  OortSelection strategy({.fraction = 0.2}, util::Rng(3));
+  const Decision d = strategy.decide({users}, 0);
+  for (std::size_t k = 0; k < d.selected.size(); ++k) {
+    EXPECT_DOUBLE_EQ(d.frequencies_hz[k], users[d.selected[k]].device.f_max_hz);
+  }
+}
+
+TEST(Oort, ObserveUpdatesStatisticalUtility) {
+  const auto users = fleet_of(10);
+  OortSelection strategy({.fraction = 0.2, .explore_ratio = 0.0}, util::Rng(4));
+  Decision d = strategy.decide({users}, 0);
+  const std::vector<double> losses = {2.5, 0.1};
+  strategy.observe(0, d, losses);
+  EXPECT_DOUBLE_EQ(strategy.statistical_utility(d.selected[0]), 2.5);
+  EXPECT_DOUBLE_EQ(strategy.statistical_utility(d.selected[1]), 0.1);
+}
+
+TEST(Oort, UnexploredUsersCarryOptimisticUtility) {
+  const auto users = fleet_of(10);
+  OortSelection strategy({.fraction = 0.2, .explore_ratio = 0.0}, util::Rng(5));
+  Decision d = strategy.decide({users}, 0);
+  strategy.observe(0, d, std::vector<double>{5.0, 4.0});
+  // An unexplored user's prior equals the maximum loss seen so far.
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i != d.selected[0] && i != d.selected[1]) {
+      EXPECT_DOUBLE_EQ(strategy.statistical_utility(i), 5.0);
+    }
+  }
+}
+
+TEST(Oort, HighLossUsersArePreferred) {
+  const auto users = fleet_of(10);
+  OortSelection strategy({.fraction = 0.1, .explore_ratio = 0.0}, util::Rng(6));
+  (void)strategy.decide({users}, 0);  // initializes the per-user state
+  // Explore everyone once with equal low loss except user 3.
+  for (std::size_t i = 0; i < 10; ++i) {
+    Decision fake;
+    fake.selected = {i};
+    strategy.observe(0, fake, std::vector<double>{i == 3 ? 9.0 : 0.5});
+  }
+  const Decision d = strategy.decide({users}, 1);
+  ASSERT_EQ(d.selected.size(), 1u);
+  EXPECT_EQ(d.selected[0], 3u);
+}
+
+TEST(Oort, SlowUsersArePenalized) {
+  // Two users with equal loss; the one far above the preferred duration
+  // loses.  linear_fleet orders ascending f_max, so user 0 is slowest.
+  const auto users = fleet_of(10);
+  OortSelection strategy(
+      {.fraction = 0.1, .alpha = 5.0, .explore_ratio = 0.0,
+       .preferred_duration_s = users[9].total_delay_max_s()},
+      util::Rng(7));
+  (void)strategy.decide({users}, 0);  // initializes the per-user state
+  for (std::size_t i = 0; i < 10; ++i) {
+    Decision fake;
+    fake.selected = {i};
+    strategy.observe(0, fake, std::vector<double>{1.0});
+  }
+  const Decision d = strategy.decide({users}, 1);
+  ASSERT_EQ(d.selected.size(), 1u);
+  EXPECT_EQ(d.selected[0], 9u);  // fastest user wins under equal loss
+}
+
+TEST(Oort, ExplorationCoversFleetOverTime) {
+  const auto users = fleet_of(30);
+  OortSelection strategy({.fraction = 0.1, .explore_ratio = 0.5}, util::Rng(8));
+  std::set<std::size_t> ever;
+  for (std::size_t round = 0; round < 200; ++round) {
+    const Decision d = strategy.decide({users}, round);
+    for (const auto i : d.selected) ever.insert(i);
+    strategy.observe(round, d, std::vector<double>(d.selected.size(), 0.2));
+  }
+  EXPECT_GT(ever.size(), 25u);
+}
+
+TEST(Oort, RespectsAvailabilityMask) {
+  const auto users = fleet_of(10);
+  std::vector<std::uint8_t> alive(10, 1);
+  alive[9] = 0;  // fastest device is dead
+  OortSelection strategy({.fraction = 0.3, .explore_ratio = 0.3}, util::Rng(9));
+  for (std::size_t round = 0; round < 20; ++round) {
+    const Decision d = strategy.decide({users, alive}, round);
+    for (const auto i : d.selected) EXPECT_NE(i, 9u);
+    strategy.observe(round, d, std::vector<double>(d.selected.size(), 1.0));
+  }
+}
+
+TEST(Oort, ObserveRejectsSizeMismatch) {
+  const auto users = fleet_of(5);
+  OortSelection strategy({.fraction = 0.2}, util::Rng(10));
+  Decision d = strategy.decide({users}, 0);
+  EXPECT_THROW(strategy.observe(0, d, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Oort, ResetRestoresInitialBehaviour) {
+  const auto users = fleet_of(20);
+  OortSelection strategy({.fraction = 0.2, .explore_ratio = 0.4}, util::Rng(11));
+  const Decision first = strategy.decide({users}, 0);
+  strategy.observe(0, first, std::vector<double>(first.selected.size(), 3.0));
+  (void)strategy.decide({users}, 1);
+  strategy.reset();
+  EXPECT_EQ(strategy.decide({users}, 0).selected, first.selected);
+}
+
+TEST(Oort, FleetSizeChangeThrows) {
+  const auto users_a = fleet_of(10);
+  const auto users_b = fleet_of(5);
+  OortSelection strategy({.fraction = 0.2}, util::Rng(12));
+  (void)strategy.decide({users_a}, 0);
+  EXPECT_THROW(strategy.decide({users_b}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace helcfl::sched

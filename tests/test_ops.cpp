@@ -1,0 +1,159 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace helcfl::tensor {
+namespace {
+
+TEST(Ops, AddInplace) {
+  std::vector<float> y = {1, 2, 3};
+  const std::vector<float> x = {10, 20, 30};
+  add_inplace(y, x);
+  EXPECT_EQ(y, (std::vector<float>{11, 22, 33}));
+}
+
+TEST(Ops, SubInplace) {
+  std::vector<float> y = {10, 20, 30};
+  const std::vector<float> x = {1, 2, 3};
+  sub_inplace(y, x);
+  EXPECT_EQ(y, (std::vector<float>{9, 18, 27}));
+}
+
+TEST(Ops, ScaleInplace) {
+  std::vector<float> y = {1, -2, 3};
+  scale_inplace(y, -2.0F);
+  EXPECT_EQ(y, (std::vector<float>{-2, 4, -6}));
+}
+
+TEST(Ops, Axpy) {
+  std::vector<float> y = {1, 1, 1};
+  const std::vector<float> x = {1, 2, 3};
+  axpy(0.5F, x, y);
+  EXPECT_EQ(y, (std::vector<float>{1.5F, 2.0F, 2.5F}));
+}
+
+TEST(Ops, Dot) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Ops, SquaredNorm) {
+  const std::vector<float> a = {3, 4};
+  EXPECT_DOUBLE_EQ(squared_norm(a), 25.0);
+}
+
+TEST(Ops, GemmIdentity) {
+  // A * I = A
+  const std::vector<float> a = {1, 2, 3, 4, 5, 6};          // 2x3
+  const std::vector<float> eye = {1, 0, 0, 0, 1, 0, 0, 0, 1};  // 3x3
+  std::vector<float> c(6, -1.0F);
+  gemm(2, 3, 3, a, eye, c);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Ops, GemmKnownProduct) {
+  const std::vector<float> a = {1, 2, 3, 4};  // 2x2
+  const std::vector<float> b = {5, 6, 7, 8};  // 2x2
+  std::vector<float> c(4);
+  gemm(2, 2, 2, a, b, c);
+  EXPECT_EQ(c, (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(Ops, GemmOverwritesOutput) {
+  const std::vector<float> a = {1};
+  const std::vector<float> b = {2};
+  std::vector<float> c = {100};
+  gemm(1, 1, 1, a, b, c);
+  EXPECT_EQ(c[0], 2.0F);
+}
+
+TEST(Ops, GemmAccumulateAddsToOutput) {
+  const std::vector<float> a = {1};
+  const std::vector<float> b = {2};
+  std::vector<float> c = {100};
+  gemm_accumulate(1, 1, 1, a, b, c);
+  EXPECT_EQ(c[0], 102.0F);
+}
+
+TEST(Ops, GemmAtBMatchesExplicitTranspose) {
+  util::Rng rng(1);
+  const std::size_t m = 4, k = 5, n = 3;
+  std::vector<float> a_t(k * m);  // stores A as [k, m]; logical A^T is [m, k]... A^T[m,k] where A is [k,m]
+  std::vector<float> b(k * n);
+  for (auto& v : a_t) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  // Reference: build A_explicit[m, k] with A_explicit[i][kk] = a_t[kk*m + i].
+  std::vector<float> a_explicit(m * k);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t i = 0; i < m; ++i) a_explicit[i * k + kk] = a_t[kk * m + i];
+  }
+  std::vector<float> expected(m * n);
+  gemm(m, k, n, a_explicit, b, expected);
+
+  std::vector<float> actual(m * n);
+  gemm_at_b(m, k, n, a_t, b, actual);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-5F);
+  }
+}
+
+TEST(Ops, GemmABtMatchesExplicitTranspose) {
+  util::Rng rng(2);
+  const std::size_t m = 3, k = 4, n = 5;
+  std::vector<float> a(m * k);
+  std::vector<float> b_t(n * k);  // B stored as [n, k]; logical B is [k, n]
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b_t) v = static_cast<float>(rng.normal());
+
+  std::vector<float> b_explicit(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t kk = 0; kk < k; ++kk) b_explicit[kk * n + j] = b_t[j * k + kk];
+  }
+  std::vector<float> expected(m * n);
+  gemm(m, k, n, a, b_explicit, expected);
+
+  std::vector<float> actual(m * n);
+  gemm_a_bt(m, k, n, a, b_t, actual);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-5F);
+  }
+}
+
+TEST(Ops, TensorAdd) {
+  const Tensor a(Shape{2}, {1, 2});
+  const Tensor b(Shape{2}, {10, 20});
+  const Tensor c = add(a, b);
+  EXPECT_EQ(c[0], 11.0F);
+  EXPECT_EQ(c[1], 22.0F);
+}
+
+TEST(Ops, TensorSub) {
+  const Tensor a(Shape{2}, {10, 20});
+  const Tensor b(Shape{2}, {1, 2});
+  const Tensor c = sub(a, b);
+  EXPECT_EQ(c[0], 9.0F);
+  EXPECT_EQ(c[1], 18.0F);
+}
+
+TEST(Ops, TensorScale) {
+  const Tensor a(Shape{2}, {1, -2});
+  const Tensor c = scale(a, 3.0F);
+  EXPECT_EQ(c[0], 3.0F);
+  EXPECT_EQ(c[1], -6.0F);
+}
+
+TEST(Ops, TensorAddShapeMismatchThrows) {
+  const Tensor a(Shape{2});
+  const Tensor b(Shape{3});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(sub(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace helcfl::tensor

@@ -1,0 +1,162 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace helcfl::data {
+namespace {
+
+std::vector<std::int32_t> cyclic_labels(std::size_t n, std::int32_t classes) {
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<std::int32_t>(i) % classes;
+  return labels;
+}
+
+TEST(IidPartition, ExactCover) {
+  util::Rng rng(1);
+  const Partition p = iid_partition(1000, 100, rng);
+  EXPECT_EQ(p.size(), 100u);
+  EXPECT_TRUE(is_exact_cover(p, 1000));
+}
+
+TEST(IidPartition, EvenSizes) {
+  util::Rng rng(2);
+  const Partition p = iid_partition(1000, 100, rng);
+  for (const auto& slice : p) EXPECT_EQ(slice.size(), 10u);
+}
+
+TEST(IidPartition, RemainderSpreadOverFirstUsers) {
+  util::Rng rng(3);
+  const Partition p = iid_partition(103, 10, rng);
+  for (std::size_t u = 0; u < 10; ++u) {
+    EXPECT_EQ(p[u].size(), u < 3 ? 11u : 10u);
+  }
+  EXPECT_TRUE(is_exact_cover(p, 103));
+}
+
+TEST(IidPartition, SingleUserGetsEverything) {
+  util::Rng rng(4);
+  const Partition p = iid_partition(50, 1, rng);
+  EXPECT_EQ(p[0].size(), 50u);
+}
+
+TEST(IidPartition, ZeroUsersThrows) {
+  util::Rng rng(5);
+  EXPECT_THROW(iid_partition(10, 0, rng), std::invalid_argument);
+}
+
+TEST(IidPartition, IsShuffled) {
+  util::Rng rng(6);
+  const Partition p = iid_partition(1000, 2, rng);
+  // First user's slice should not be {0..499}.
+  auto sorted = p[0];
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NE(p[0], sorted);
+}
+
+TEST(IidPartition, UsersSeeMostClassesOnAverage) {
+  util::Rng rng(7);
+  const auto labels = cyclic_labels(4000, 10);
+  const Partition p = iid_partition(4000, 100, rng);
+  const auto coverage = classes_per_user(p, labels, 10);
+  const double avg = std::accumulate(coverage.begin(), coverage.end(), 0.0) / 100.0;
+  EXPECT_GT(avg, 8.0);
+}
+
+TEST(ShardPartition, ExactCover) {
+  util::Rng rng(8);
+  const auto labels = cyclic_labels(4000, 10);
+  const Partition p = shard_noniid_partition(labels, 100, 4, rng);
+  EXPECT_EQ(p.size(), 100u);
+  EXPECT_TRUE(is_exact_cover(p, 4000));
+}
+
+TEST(ShardPartition, PaperGeometry400Shards) {
+  // 100 users x 4 shards = the paper's "400 pieces, each four assigned".
+  util::Rng rng(9);
+  const auto labels = cyclic_labels(4000, 10);
+  const Partition p = shard_noniid_partition(labels, 100, 4, rng);
+  for (const auto& slice : p) EXPECT_EQ(slice.size(), 40u);
+}
+
+TEST(ShardPartition, UsersSeeFewClasses) {
+  util::Rng rng(10);
+  const auto labels = cyclic_labels(4000, 10);
+  const Partition p = shard_noniid_partition(labels, 100, 4, rng);
+  const auto coverage = classes_per_user(p, labels, 10);
+  const double avg = std::accumulate(coverage.begin(), coverage.end(), 0.0) / 100.0;
+  EXPECT_LT(avg, 6.0);  // each user holds at most ~4-5 of 10 classes
+  for (const auto c : coverage) EXPECT_GE(c, 1u);
+}
+
+TEST(ShardPartition, ShardsAreLabelContiguous) {
+  util::Rng rng(11);
+  // Sorted labels: shard partition with 1 shard per user over 10 users and
+  // 10 one-class groups puts exactly one class per user.
+  std::vector<std::int32_t> labels(100);
+  for (std::size_t i = 0; i < 100; ++i) labels[i] = static_cast<std::int32_t>(i / 10);
+  const Partition p = shard_noniid_partition(labels, 10, 1, rng);
+  const auto coverage = classes_per_user(p, labels, 10);
+  for (const auto c : coverage) EXPECT_EQ(c, 1u);
+}
+
+TEST(ShardPartition, MoreShardsThanSamplesThrows) {
+  util::Rng rng(12);
+  const auto labels = cyclic_labels(10, 2);
+  EXPECT_THROW(shard_noniid_partition(labels, 10, 4, rng), std::invalid_argument);
+}
+
+TEST(ShardPartition, ZeroArgsThrow) {
+  util::Rng rng(13);
+  const auto labels = cyclic_labels(100, 10);
+  EXPECT_THROW(shard_noniid_partition(labels, 0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(shard_noniid_partition(labels, 10, 0, rng), std::invalid_argument);
+}
+
+TEST(DirichletPartition, ExactCover) {
+  util::Rng rng(14);
+  const auto labels = cyclic_labels(2000, 10);
+  const Partition p = dirichlet_partition(labels, 50, 10, 0.5, rng);
+  EXPECT_EQ(p.size(), 50u);
+  EXPECT_TRUE(is_exact_cover(p, 2000));
+}
+
+TEST(DirichletPartition, SmallAlphaIsMoreSkewedThanLarge) {
+  const auto labels = cyclic_labels(5000, 10);
+  util::Rng rng_small(15);
+  util::Rng rng_large(15);
+  const Partition skewed = dirichlet_partition(labels, 50, 10, 0.05, rng_small);
+  const Partition smooth = dirichlet_partition(labels, 50, 10, 100.0, rng_large);
+  const auto cov_skewed = classes_per_user(skewed, labels, 10);
+  const auto cov_smooth = classes_per_user(smooth, labels, 10);
+  const double avg_skewed =
+      std::accumulate(cov_skewed.begin(), cov_skewed.end(), 0.0) / 50.0;
+  const double avg_smooth =
+      std::accumulate(cov_smooth.begin(), cov_smooth.end(), 0.0) / 50.0;
+  EXPECT_LT(avg_skewed, avg_smooth);
+}
+
+TEST(DirichletPartition, RejectsBadAlpha) {
+  util::Rng rng(16);
+  const auto labels = cyclic_labels(100, 10);
+  EXPECT_THROW(dirichlet_partition(labels, 10, 10, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(dirichlet_partition(labels, 10, 10, -1.0, rng), std::invalid_argument);
+}
+
+TEST(IsExactCover, DetectsMissingAndDuplicate) {
+  Partition missing = {{0, 1}, {3}};
+  EXPECT_FALSE(is_exact_cover(missing, 4));
+  Partition duplicate = {{0, 1}, {1, 2, 3}};
+  EXPECT_FALSE(is_exact_cover(duplicate, 4));
+  Partition out_of_range = {{0, 1}, {2, 4}};
+  EXPECT_FALSE(is_exact_cover(out_of_range, 4));
+  Partition good = {{0, 3}, {1, 2}};
+  EXPECT_TRUE(is_exact_cover(good, 4));
+}
+
+}  // namespace
+}  // namespace helcfl::data

@@ -1,0 +1,118 @@
+#include "nn/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+
+namespace helcfl::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(MaxPool2D, OutputShape) {
+  MaxPool2D pool(2, 2);
+  const Tensor y = pool.forward(Tensor(Shape{2, 3, 8, 8}), false);
+  EXPECT_EQ(y.shape(), Shape({2, 3, 4, 4}));
+}
+
+TEST(MaxPool2D, OddExtentFloors) {
+  MaxPool2D pool(2, 2);
+  const Tensor y = pool.forward(Tensor(Shape{1, 1, 5, 5}), false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+}
+
+TEST(MaxPool2D, PicksWindowMaximum) {
+  MaxPool2D pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, {1.0F, 5.0F, 3.0F, 2.0F});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 5.0F);
+}
+
+TEST(MaxPool2D, HandlesNegativeValues) {
+  MaxPool2D pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, {-4.0F, -1.0F, -3.0F, -2.0F});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], -1.0F);
+}
+
+TEST(MaxPool2D, BackwardRoutesGradientToArgmax) {
+  MaxPool2D pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, {1.0F, 5.0F, 3.0F, 2.0F});
+  (void)pool.forward(x, true);
+  Tensor dy(Shape{1, 1, 1, 1}, {7.0F});
+  const Tensor dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.0F);
+  EXPECT_FLOAT_EQ(dx[1], 7.0F);
+  EXPECT_FLOAT_EQ(dx[2], 0.0F);
+  EXPECT_FLOAT_EQ(dx[3], 0.0F);
+}
+
+TEST(MaxPool2D, RejectsRank2Input) {
+  MaxPool2D pool(2, 2);
+  EXPECT_THROW(pool.forward(Tensor(Shape{2, 4}), false), std::invalid_argument);
+}
+
+TEST(MaxPool2D, RejectsWindowLargerThanInput) {
+  MaxPool2D pool(4, 4);
+  EXPECT_THROW(pool.forward(Tensor(Shape{1, 1, 3, 3}), false), std::invalid_argument);
+}
+
+TEST(MaxPool2D, RejectsZeroKernel) {
+  EXPECT_THROW(MaxPool2D(0, 1), std::invalid_argument);
+  EXPECT_THROW(MaxPool2D(2, 0), std::invalid_argument);
+}
+
+TEST(MaxPool2D, GradientCheck) {
+  MaxPool2D pool(2, 2);
+  // Distinct values keep the argmax stable under the finite-difference step.
+  Tensor x(Shape{1, 2, 4, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>((i * 7919) % 97) / 10.0F;
+  }
+  testing::check_gradients(pool, x);
+}
+
+TEST(GlobalAvgPool2D, OutputShape) {
+  GlobalAvgPool2D pool;
+  const Tensor y = pool.forward(Tensor(Shape{3, 5, 4, 4}), false);
+  EXPECT_EQ(y.shape(), Shape({3, 5}));
+}
+
+TEST(GlobalAvgPool2D, ComputesMean) {
+  GlobalAvgPool2D pool;
+  Tensor x(Shape{1, 1, 2, 2}, {1.0F, 2.0F, 3.0F, 6.0F});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.0F);
+}
+
+TEST(GlobalAvgPool2D, PerChannelMeans) {
+  GlobalAvgPool2D pool;
+  Tensor x(Shape{1, 2, 1, 2}, {1.0F, 3.0F, 10.0F, 20.0F});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 15.0F);
+}
+
+TEST(GlobalAvgPool2D, BackwardSpreadsGradientEvenly) {
+  GlobalAvgPool2D pool;
+  Tensor x(Shape{1, 1, 2, 2});
+  (void)pool.forward(x, true);
+  Tensor dy(Shape{1, 1}, {8.0F});
+  const Tensor dx = pool.backward(dy);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dx[i], 2.0F);
+}
+
+TEST(GlobalAvgPool2D, RejectsRank2Input) {
+  GlobalAvgPool2D pool;
+  EXPECT_THROW(pool.forward(Tensor(Shape{2, 4}), false), std::invalid_argument);
+}
+
+TEST(GlobalAvgPool2D, GradientCheck) {
+  GlobalAvgPool2D pool;
+  testing::check_gradients(pool, testing::random_input(Shape{2, 3, 3, 3}, 5));
+}
+
+}  // namespace
+}  // namespace helcfl::nn

@@ -1,0 +1,87 @@
+#include "sched/random_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fl_fixtures.h"
+
+namespace helcfl::sched {
+namespace {
+
+std::vector<UserInfo> fleet_of(std::size_t n) {
+  const auto devices = testing::linear_fleet(n, 20);
+  return build_user_info(devices, testing::paper_channel(), 4e6);
+}
+
+TEST(RandomSelection, SelectsRequestedFraction) {
+  const auto users = fleet_of(100);
+  RandomSelection strategy(0.1, util::Rng(1));
+  const Decision d = strategy.decide({users}, 0);
+  EXPECT_EQ(d.selected.size(), 10u);
+  EXPECT_EQ(d.frequencies_hz.size(), 10u);
+}
+
+TEST(RandomSelection, SelectionsAreDistinct) {
+  const auto users = fleet_of(50);
+  RandomSelection strategy(0.2, util::Rng(2));
+  const Decision d = strategy.decide({users}, 0);
+  const std::set<std::size_t> unique(d.selected.begin(), d.selected.end());
+  EXPECT_EQ(unique.size(), d.selected.size());
+}
+
+TEST(RandomSelection, RunsAtMaxFrequency) {
+  const auto users = fleet_of(20);
+  RandomSelection strategy(0.25, util::Rng(3));
+  const Decision d = strategy.decide({users}, 0);
+  for (std::size_t k = 0; k < d.selected.size(); ++k) {
+    EXPECT_DOUBLE_EQ(d.frequencies_hz[k], users[d.selected[k]].device.f_max_hz);
+  }
+}
+
+TEST(RandomSelection, VariesAcrossRounds) {
+  const auto users = fleet_of(100);
+  RandomSelection strategy(0.1, util::Rng(4));
+  const Decision d0 = strategy.decide({users}, 0);
+  const Decision d1 = strategy.decide({users}, 1);
+  EXPECT_NE(d0.selected, d1.selected);
+}
+
+TEST(RandomSelection, CoverageIsUnbiasedOverManyRounds) {
+  const auto users = fleet_of(20);
+  RandomSelection strategy(0.25, util::Rng(5));
+  std::vector<std::size_t> counts(20, 0);
+  const int rounds = 4000;
+  for (int round = 0; round < rounds; ++round) {
+    for (const auto i : strategy.decide({users}, round).selected) ++counts[i];
+  }
+  // Expected 1000 selections each.
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 80.0);
+  }
+}
+
+TEST(RandomSelection, ResetReplaysSameSequence) {
+  const auto users = fleet_of(30);
+  RandomSelection strategy(0.2, util::Rng(6));
+  const Decision first = strategy.decide({users}, 0);
+  (void)strategy.decide({users}, 1);
+  strategy.reset();
+  const Decision replay = strategy.decide({users}, 0);
+  EXPECT_EQ(first.selected, replay.selected);
+}
+
+TEST(RandomSelection, NameIsClassicFL) {
+  RandomSelection strategy(0.1, util::Rng(7));
+  EXPECT_EQ(strategy.name(), "ClassicFL");
+}
+
+TEST(RandomSelection, SingleUserFleet) {
+  const auto users = fleet_of(1);
+  RandomSelection strategy(0.1, util::Rng(8));
+  const Decision d = strategy.decide({users}, 0);
+  EXPECT_EQ(d.selected, (std::vector<std::size_t>{0}));
+}
+
+}  // namespace
+}  // namespace helcfl::sched

@@ -1,0 +1,178 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace helcfl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.shuffle(std::span<int>(shuffled));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleFullRangeIsPermutation) {
+  Rng rng(43);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleZero) {
+  Rng rng(47);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, SampleIsUnbiased) {
+  // Each of 10 items should appear in a size-5 sample about half the time.
+  Rng rng(53);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (const auto i : rng.sample_without_replacement(10, 5)) ++counts[i];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.5, 0.02);
+  }
+}
+
+TEST(Rng, PermutationContainsAll) {
+  Rng rng(59);
+  const auto perm = rng.permutation(100);
+  EXPECT_EQ(perm.size(), 100u);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent(61);
+  Rng child1 = parent.fork(0);
+  Rng child2 = parent.fork(1);
+  Rng child1_again = Rng(61).fork(0);
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+  // Re-forking with the same id reproduces the stream.
+  Rng c1 = Rng(61).fork(0);
+  EXPECT_EQ(c1.next_u64(), child1_again.next_u64());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(67);
+  Rng b(67);
+  (void)a.fork(99);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace helcfl::util

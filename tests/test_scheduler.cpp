@@ -1,0 +1,73 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "fl_fixtures.h"
+#include "mec/cost_model.h"
+
+namespace helcfl::sched {
+namespace {
+
+TEST(SelectionCount, PaperFormulaMaxQc1) {
+  EXPECT_EQ(selection_count(100, 0.1), 10u);
+  EXPECT_EQ(selection_count(100, 0.05), 5u);
+  EXPECT_EQ(selection_count(100, 1.0), 100u);
+}
+
+TEST(SelectionCount, AtLeastOne) {
+  EXPECT_EQ(selection_count(100, 0.0), 1u);
+  EXPECT_EQ(selection_count(3, 0.01), 1u);
+}
+
+TEST(SelectionCount, NeverExceedsFleet) {
+  EXPECT_EQ(selection_count(5, 1.0), 5u);
+}
+
+TEST(SelectionCount, RoundsToNearest) {
+  EXPECT_EQ(selection_count(10, 0.25), 3u);  // 2.5 rounds to 3 (llround: 3)
+  EXPECT_EQ(selection_count(10, 0.24), 2u);
+}
+
+TEST(SelectionCount, RejectsBadFraction) {
+  EXPECT_THROW(selection_count(10, -0.1), std::invalid_argument);
+  EXPECT_THROW(selection_count(10, 1.1), std::invalid_argument);
+}
+
+TEST(BuildUserInfo, DerivesDelaysAtMaxFrequency) {
+  const auto devices = testing::linear_fleet(4, 30);
+  const mec::Channel channel = testing::paper_channel();
+  const auto users = build_user_info(devices, channel, 4e6);
+  ASSERT_EQ(users.size(), 4u);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    EXPECT_DOUBLE_EQ(users[i].t_cal_max_s,
+                     mec::compute_delay_s(devices[i], devices[i].f_max_hz));
+    EXPECT_DOUBLE_EQ(users[i].t_com_s,
+                     mec::upload_delay_s(devices[i], channel, 4e6));
+    EXPECT_DOUBLE_EQ(users[i].total_delay_max_s(),
+                     users[i].t_cal_max_s + users[i].t_com_s);
+    EXPECT_EQ(users[i].device.id, devices[i].id);
+  }
+}
+
+TEST(BuildUserInfo, FasterDevicesHaveShorterComputeDelay) {
+  const auto devices = testing::linear_fleet(10, 30);
+  const auto users = build_user_info(devices, testing::paper_channel(), 4e6);
+  // linear_fleet orders devices by ascending f_max.
+  for (std::size_t i = 1; i < users.size(); ++i) {
+    EXPECT_LT(users[i].t_cal_max_s, users[i - 1].t_cal_max_s);
+  }
+}
+
+TEST(BuildUserInfo, RejectsInvalidDevice) {
+  auto devices = testing::linear_fleet(2, 30);
+  devices[1].tx_power_w = 0.0;
+  EXPECT_THROW(build_user_info(devices, testing::paper_channel(), 4e6),
+               std::invalid_argument);
+}
+
+TEST(BuildUserInfo, EmptyFleet) {
+  EXPECT_TRUE(build_user_info({}, testing::paper_channel(), 4e6).empty());
+}
+
+}  // namespace
+}  // namespace helcfl::sched

@@ -1,0 +1,126 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "fl_fixtures.h"
+#include "sched/fedcs.h"
+
+namespace helcfl::sim {
+namespace {
+
+/// A configuration small enough to run in milliseconds.
+ExperimentConfig tiny_config(Scheme scheme, bool noniid = false) {
+  ExperimentConfig c = paper_config();
+  c.scheme = scheme;
+  c.noniid = noniid;
+  c.n_users = 20;
+  c.dataset.train_samples = 400;
+  c.dataset.test_samples = 100;
+  c.trainer.max_rounds = 8;
+  c.trainer.eval_every = 2;
+  c.sl_eval_every = 4;
+  c.sl_eval_users = 5;
+  c.seed = 77;
+  return c;
+}
+
+TEST(Simulation, RunsEveryScheme) {
+  for (const auto scheme : {Scheme::kHelcfl, Scheme::kHelcflNoDvfs, Scheme::kClassicFl,
+                            Scheme::kFedCs, Scheme::kFedl, Scheme::kSl}) {
+    const ExperimentResult result = run_experiment(tiny_config(scheme));
+    EXPECT_EQ(result.scheme, scheme_name(scheme));
+    EXPECT_EQ(result.history.size(), 8u) << result.scheme;
+    EXPECT_GT(result.model_parameters, 0u);
+    EXPECT_GT(result.history.total_delay_s(), 0.0);
+    EXPECT_GT(result.history.total_energy_j(), 0.0);
+  }
+}
+
+TEST(Simulation, NonIidRunsEveryScheme) {
+  for (const auto scheme : {Scheme::kHelcfl, Scheme::kClassicFl, Scheme::kFedCs}) {
+    const ExperimentResult result = run_experiment(tiny_config(scheme, true));
+    EXPECT_EQ(result.history.size(), 8u);
+  }
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  const ExperimentConfig c = tiny_config(Scheme::kHelcfl);
+  const ExperimentResult a = run_experiment(c);
+  const ExperimentResult b = run_experiment(c);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history.rounds()[i].selected, b.history.rounds()[i].selected);
+    EXPECT_DOUBLE_EQ(a.history.rounds()[i].test_accuracy,
+                     b.history.rounds()[i].test_accuracy);
+    EXPECT_DOUBLE_EQ(a.history.rounds()[i].cum_energy_j,
+                     b.history.rounds()[i].cum_energy_j);
+  }
+}
+
+TEST(Simulation, SeedChangesResults) {
+  ExperimentConfig c = tiny_config(Scheme::kClassicFl);
+  const ExperimentResult a = run_experiment(c);
+  c.seed = 78;
+  const ExperimentResult b = run_experiment(c);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (a.history.rounds()[i].selected != b.history.rounds()[i].selected) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Simulation, SchemesShareWorkloadGivenSeed) {
+  // Same seed, different scheme: first-round delays of FedCS vs Classic
+  // differ (different users) but the fleet is identical, so the FedCS auto
+  // deadline computed from either run agrees.
+  const ExperimentResult a = run_experiment(tiny_config(Scheme::kFedCs));
+  const ExperimentResult b = run_experiment(tiny_config(Scheme::kFedCs));
+  EXPECT_DOUBLE_EQ(a.fedcs_deadline_s, b.fedcs_deadline_s);
+  EXPECT_GT(a.fedcs_deadline_s, 0.0);
+}
+
+TEST(Simulation, ExplicitFedcsDeadlineIsRespected) {
+  ExperimentConfig c = tiny_config(Scheme::kFedCs);
+  c.fedcs_deadline_s = 42.0;
+  const ExperimentResult result = run_experiment(c);
+  EXPECT_DOUBLE_EQ(result.fedcs_deadline_s, 42.0);
+}
+
+TEST(Simulation, InvalidConfigThrows) {
+  ExperimentConfig c = tiny_config(Scheme::kHelcfl);
+  c.fraction = 2.0;
+  EXPECT_THROW(run_experiment(c), std::invalid_argument);
+}
+
+TEST(Simulation, AutoFedcsDeadlineMatchesFastestCohort) {
+  const auto devices = testing::linear_fleet(10, 20);
+  const auto users =
+      sched::build_user_info(devices, testing::paper_channel(), 4e6);
+  const double deadline = auto_fedcs_deadline({users}, 0.2);
+  EXPECT_GT(deadline, 0.0);
+  // The deadline must admit at least the 2 * Q * C fastest users.
+  sched::FedCsSelection strategy(deadline);
+  const sched::Decision d = strategy.decide({users}, 0);
+  EXPECT_GE(d.selected.size(), 4u);
+}
+
+TEST(Simulation, MakeStrategyReturnsNullForSl) {
+  const ExperimentConfig c = tiny_config(Scheme::kSl);
+  const auto devices = testing::linear_fleet(5, 20);
+  const auto users =
+      sched::build_user_info(devices, testing::paper_channel(), 4e6);
+  EXPECT_EQ(make_strategy(c, {users}), nullptr);
+}
+
+TEST(Simulation, HelcflUsesLessEnergyThanNoDvfs) {
+  const ExperimentResult with_dvfs = run_experiment(tiny_config(Scheme::kHelcfl));
+  const ExperimentResult without = run_experiment(tiny_config(Scheme::kHelcflNoDvfs));
+  EXPECT_LT(with_dvfs.history.total_energy_j(), without.history.total_energy_j());
+  EXPECT_NEAR(with_dvfs.history.total_delay_s(), without.history.total_delay_s(),
+              1e-6);
+}
+
+}  // namespace
+}  // namespace helcfl::sim

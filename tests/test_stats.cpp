@@ -1,0 +1,95 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace helcfl::util {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, VarianceBasic) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> v = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 37.0), 42.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(RunningStat, MatchesBatchStatistics) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat rs;
+  for (const double x : v) rs.push(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat rs;
+  rs.push(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, NegativeValues) {
+  RunningStat rs;
+  for (const double x : {-5.0, -1.0, -3.0}) rs.push(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), -1.0);
+}
+
+}  // namespace
+}  // namespace helcfl::util
