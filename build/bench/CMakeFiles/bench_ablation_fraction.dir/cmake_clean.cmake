@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fraction.dir/bench_ablation_fraction.cpp.o"
+  "CMakeFiles/bench_ablation_fraction.dir/bench_ablation_fraction.cpp.o.d"
+  "bench_ablation_fraction"
+  "bench_ablation_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

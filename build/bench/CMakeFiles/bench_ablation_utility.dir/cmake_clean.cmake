@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_utility.dir/bench_ablation_utility.cpp.o"
+  "CMakeFiles/bench_ablation_utility.dir/bench_ablation_utility.cpp.o.d"
+  "bench_ablation_utility"
+  "bench_ablation_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_battery_lifetime.dir/bench_ext_battery_lifetime.cpp.o"
+  "CMakeFiles/bench_ext_battery_lifetime.dir/bench_ext_battery_lifetime.cpp.o.d"
+  "bench_ext_battery_lifetime"
+  "bench_ext_battery_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_battery_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

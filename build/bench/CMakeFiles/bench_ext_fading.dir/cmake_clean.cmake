@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fading.dir/bench_ext_fading.cpp.o"
+  "CMakeFiles/bench_ext_fading.dir/bench_ext_fading.cpp.o.d"
+  "bench_ext_fading"
+  "bench_ext_fading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_fading.
+# This may be replaced when dependencies are built.

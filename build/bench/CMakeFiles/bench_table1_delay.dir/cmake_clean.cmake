@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_delay.dir/bench_table1_delay.cpp.o"
+  "CMakeFiles/bench_table1_delay.dir/bench_table1_delay.cpp.o.d"
+  "bench_table1_delay"
+  "bench_table1_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_fleet.dir/campus_fleet.cpp.o"
+  "CMakeFiles/campus_fleet.dir/campus_fleet.cpp.o.d"
+  "campus_fleet"
+  "campus_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_audit.dir/energy_audit.cpp.o"
+  "CMakeFiles/energy_audit.dir/energy_audit.cpp.o.d"
+  "energy_audit"
+  "energy_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

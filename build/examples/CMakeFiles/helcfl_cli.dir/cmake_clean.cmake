@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_cli.dir/helcfl_cli.cpp.o"
+  "CMakeFiles/helcfl_cli.dir/helcfl_cli.cpp.o.d"
+  "helcfl_cli"
+  "helcfl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noniid_clinic.dir/noniid_clinic.cpp.o"
+  "CMakeFiles/noniid_clinic.dir/noniid_clinic.cpp.o.d"
+  "noniid_clinic"
+  "noniid_clinic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noniid_clinic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

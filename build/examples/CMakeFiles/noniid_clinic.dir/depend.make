@@ -1,0 +1,2 @@
+# Empty dependencies file for noniid_clinic.
+# This may be replaced when dependencies are built.

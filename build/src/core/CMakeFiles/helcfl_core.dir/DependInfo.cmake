@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dvfs.cpp" "src/core/CMakeFiles/helcfl_core.dir/dvfs.cpp.o" "gcc" "src/core/CMakeFiles/helcfl_core.dir/dvfs.cpp.o.d"
+  "/root/repo/src/core/greedy_decay_selection.cpp" "src/core/CMakeFiles/helcfl_core.dir/greedy_decay_selection.cpp.o" "gcc" "src/core/CMakeFiles/helcfl_core.dir/greedy_decay_selection.cpp.o.d"
+  "/root/repo/src/core/helcfl_scheduler.cpp" "src/core/CMakeFiles/helcfl_core.dir/helcfl_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/helcfl_core.dir/helcfl_scheduler.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/core/CMakeFiles/helcfl_core.dir/utility.cpp.o" "gcc" "src/core/CMakeFiles/helcfl_core.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/helcfl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/helcfl_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helcfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

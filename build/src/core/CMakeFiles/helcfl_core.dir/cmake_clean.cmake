@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_core.dir/dvfs.cpp.o"
+  "CMakeFiles/helcfl_core.dir/dvfs.cpp.o.d"
+  "CMakeFiles/helcfl_core.dir/greedy_decay_selection.cpp.o"
+  "CMakeFiles/helcfl_core.dir/greedy_decay_selection.cpp.o.d"
+  "CMakeFiles/helcfl_core.dir/helcfl_scheduler.cpp.o"
+  "CMakeFiles/helcfl_core.dir/helcfl_scheduler.cpp.o.d"
+  "CMakeFiles/helcfl_core.dir/utility.cpp.o"
+  "CMakeFiles/helcfl_core.dir/utility.cpp.o.d"
+  "libhelcfl_core.a"
+  "libhelcfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

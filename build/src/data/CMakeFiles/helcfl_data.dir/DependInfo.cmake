@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/helcfl_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/helcfl_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/data/CMakeFiles/helcfl_data.dir/partition.cpp.o" "gcc" "src/data/CMakeFiles/helcfl_data.dir/partition.cpp.o.d"
+  "/root/repo/src/data/synthetic_cifar.cpp" "src/data/CMakeFiles/helcfl_data.dir/synthetic_cifar.cpp.o" "gcc" "src/data/CMakeFiles/helcfl_data.dir/synthetic_cifar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/helcfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/helcfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helcfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

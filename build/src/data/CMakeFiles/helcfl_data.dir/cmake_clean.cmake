@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_data.dir/dataset.cpp.o"
+  "CMakeFiles/helcfl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/helcfl_data.dir/partition.cpp.o"
+  "CMakeFiles/helcfl_data.dir/partition.cpp.o.d"
+  "CMakeFiles/helcfl_data.dir/synthetic_cifar.cpp.o"
+  "CMakeFiles/helcfl_data.dir/synthetic_cifar.cpp.o.d"
+  "libhelcfl_data.a"
+  "libhelcfl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/helcfl_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/helcfl_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/metrics.cpp" "src/fl/CMakeFiles/helcfl_fl.dir/metrics.cpp.o" "gcc" "src/fl/CMakeFiles/helcfl_fl.dir/metrics.cpp.o.d"
+  "/root/repo/src/fl/separated.cpp" "src/fl/CMakeFiles/helcfl_fl.dir/separated.cpp.o" "gcc" "src/fl/CMakeFiles/helcfl_fl.dir/separated.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/fl/CMakeFiles/helcfl_fl.dir/server.cpp.o" "gcc" "src/fl/CMakeFiles/helcfl_fl.dir/server.cpp.o.d"
+  "/root/repo/src/fl/trainer.cpp" "src/fl/CMakeFiles/helcfl_fl.dir/trainer.cpp.o" "gcc" "src/fl/CMakeFiles/helcfl_fl.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/helcfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/helcfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/helcfl_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/helcfl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helcfl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/helcfl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_fl.dir/client.cpp.o"
+  "CMakeFiles/helcfl_fl.dir/client.cpp.o.d"
+  "CMakeFiles/helcfl_fl.dir/metrics.cpp.o"
+  "CMakeFiles/helcfl_fl.dir/metrics.cpp.o.d"
+  "CMakeFiles/helcfl_fl.dir/separated.cpp.o"
+  "CMakeFiles/helcfl_fl.dir/separated.cpp.o.d"
+  "CMakeFiles/helcfl_fl.dir/server.cpp.o"
+  "CMakeFiles/helcfl_fl.dir/server.cpp.o.d"
+  "CMakeFiles/helcfl_fl.dir/trainer.cpp.o"
+  "CMakeFiles/helcfl_fl.dir/trainer.cpp.o.d"
+  "libhelcfl_fl.a"
+  "libhelcfl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mec/battery.cpp" "src/mec/CMakeFiles/helcfl_mec.dir/battery.cpp.o" "gcc" "src/mec/CMakeFiles/helcfl_mec.dir/battery.cpp.o.d"
+  "/root/repo/src/mec/channel.cpp" "src/mec/CMakeFiles/helcfl_mec.dir/channel.cpp.o" "gcc" "src/mec/CMakeFiles/helcfl_mec.dir/channel.cpp.o.d"
+  "/root/repo/src/mec/cost_model.cpp" "src/mec/CMakeFiles/helcfl_mec.dir/cost_model.cpp.o" "gcc" "src/mec/CMakeFiles/helcfl_mec.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mec/device.cpp" "src/mec/CMakeFiles/helcfl_mec.dir/device.cpp.o" "gcc" "src/mec/CMakeFiles/helcfl_mec.dir/device.cpp.o.d"
+  "/root/repo/src/mec/fading.cpp" "src/mec/CMakeFiles/helcfl_mec.dir/fading.cpp.o" "gcc" "src/mec/CMakeFiles/helcfl_mec.dir/fading.cpp.o.d"
+  "/root/repo/src/mec/tdma.cpp" "src/mec/CMakeFiles/helcfl_mec.dir/tdma.cpp.o" "gcc" "src/mec/CMakeFiles/helcfl_mec.dir/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/helcfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_mec.dir/battery.cpp.o"
+  "CMakeFiles/helcfl_mec.dir/battery.cpp.o.d"
+  "CMakeFiles/helcfl_mec.dir/channel.cpp.o"
+  "CMakeFiles/helcfl_mec.dir/channel.cpp.o.d"
+  "CMakeFiles/helcfl_mec.dir/cost_model.cpp.o"
+  "CMakeFiles/helcfl_mec.dir/cost_model.cpp.o.d"
+  "CMakeFiles/helcfl_mec.dir/device.cpp.o"
+  "CMakeFiles/helcfl_mec.dir/device.cpp.o.d"
+  "CMakeFiles/helcfl_mec.dir/fading.cpp.o"
+  "CMakeFiles/helcfl_mec.dir/fading.cpp.o.d"
+  "CMakeFiles/helcfl_mec.dir/tdma.cpp.o"
+  "CMakeFiles/helcfl_mec.dir/tdma.cpp.o.d"
+  "libhelcfl_mec.a"
+  "libhelcfl_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

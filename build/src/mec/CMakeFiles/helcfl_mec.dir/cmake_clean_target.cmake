@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhelcfl_mec.a"
+)

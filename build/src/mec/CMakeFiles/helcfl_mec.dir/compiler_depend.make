@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for helcfl_mec.
+# This may be replaced when dependencies are built.

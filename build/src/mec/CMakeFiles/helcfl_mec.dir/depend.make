@@ -1,0 +1,2 @@
+# Empty dependencies file for helcfl_mec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/compression.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/compression.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/compression.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/fire.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/fire.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/fire.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/helcfl_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/helcfl_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/helcfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helcfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

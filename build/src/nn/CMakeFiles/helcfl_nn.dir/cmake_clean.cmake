@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_nn.dir/activations.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/compression.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/compression.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/dense.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/dropout.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/fire.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/fire.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/flatten.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/loss.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/models.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/models.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/pool.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/sequential.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/helcfl_nn.dir/serialize.cpp.o"
+  "CMakeFiles/helcfl_nn.dir/serialize.cpp.o.d"
+  "libhelcfl_nn.a"
+  "libhelcfl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/fedcs.cpp" "src/sched/CMakeFiles/helcfl_sched.dir/fedcs.cpp.o" "gcc" "src/sched/CMakeFiles/helcfl_sched.dir/fedcs.cpp.o.d"
+  "/root/repo/src/sched/fedl.cpp" "src/sched/CMakeFiles/helcfl_sched.dir/fedl.cpp.o" "gcc" "src/sched/CMakeFiles/helcfl_sched.dir/fedl.cpp.o.d"
+  "/root/repo/src/sched/oort.cpp" "src/sched/CMakeFiles/helcfl_sched.dir/oort.cpp.o" "gcc" "src/sched/CMakeFiles/helcfl_sched.dir/oort.cpp.o.d"
+  "/root/repo/src/sched/random_selection.cpp" "src/sched/CMakeFiles/helcfl_sched.dir/random_selection.cpp.o" "gcc" "src/sched/CMakeFiles/helcfl_sched.dir/random_selection.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/helcfl_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/helcfl_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mec/CMakeFiles/helcfl_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helcfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

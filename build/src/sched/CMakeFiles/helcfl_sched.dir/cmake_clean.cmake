@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_sched.dir/fedcs.cpp.o"
+  "CMakeFiles/helcfl_sched.dir/fedcs.cpp.o.d"
+  "CMakeFiles/helcfl_sched.dir/fedl.cpp.o"
+  "CMakeFiles/helcfl_sched.dir/fedl.cpp.o.d"
+  "CMakeFiles/helcfl_sched.dir/oort.cpp.o"
+  "CMakeFiles/helcfl_sched.dir/oort.cpp.o.d"
+  "CMakeFiles/helcfl_sched.dir/random_selection.cpp.o"
+  "CMakeFiles/helcfl_sched.dir/random_selection.cpp.o.d"
+  "CMakeFiles/helcfl_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/helcfl_sched.dir/scheduler.cpp.o.d"
+  "libhelcfl_sched.a"
+  "libhelcfl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/helcfl_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/helcfl_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/sim/CMakeFiles/helcfl_sim.dir/fleet.cpp.o" "gcc" "src/sim/CMakeFiles/helcfl_sim.dir/fleet.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/helcfl_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/helcfl_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/helcfl_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/helcfl_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/helcfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/helcfl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/helcfl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/helcfl_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/helcfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/helcfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helcfl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/helcfl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

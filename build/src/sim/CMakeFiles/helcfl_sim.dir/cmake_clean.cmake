@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_sim.dir/config.cpp.o"
+  "CMakeFiles/helcfl_sim.dir/config.cpp.o.d"
+  "CMakeFiles/helcfl_sim.dir/fleet.cpp.o"
+  "CMakeFiles/helcfl_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/helcfl_sim.dir/report.cpp.o"
+  "CMakeFiles/helcfl_sim.dir/report.cpp.o.d"
+  "CMakeFiles/helcfl_sim.dir/simulation.cpp.o"
+  "CMakeFiles/helcfl_sim.dir/simulation.cpp.o.d"
+  "libhelcfl_sim.a"
+  "libhelcfl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/helcfl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/helcfl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/helcfl_tensor.dir/tensor.cpp.o.d"
+  "libhelcfl_tensor.a"
+  "libhelcfl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helcfl_util.dir/args.cpp.o"
+  "CMakeFiles/helcfl_util.dir/args.cpp.o.d"
+  "CMakeFiles/helcfl_util.dir/csv.cpp.o"
+  "CMakeFiles/helcfl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/helcfl_util.dir/log.cpp.o"
+  "CMakeFiles/helcfl_util.dir/log.cpp.o.d"
+  "CMakeFiles/helcfl_util.dir/rng.cpp.o"
+  "CMakeFiles/helcfl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/helcfl_util.dir/stats.cpp.o"
+  "CMakeFiles/helcfl_util.dir/stats.cpp.o.d"
+  "libhelcfl_util.a"
+  "libhelcfl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helcfl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activations.dir/test_activations.cpp.o"
+  "CMakeFiles/test_activations.dir/test_activations.cpp.o.d"
+  "test_activations"
+  "test_activations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

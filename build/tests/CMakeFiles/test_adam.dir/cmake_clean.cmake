@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adam.dir/test_adam.cpp.o"
+  "CMakeFiles/test_adam.dir/test_adam.cpp.o.d"
+  "test_adam"
+  "test_adam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batchnorm.dir/test_batchnorm.cpp.o"
+  "CMakeFiles/test_batchnorm.dir/test_batchnorm.cpp.o.d"
+  "test_batchnorm"
+  "test_batchnorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batchnorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

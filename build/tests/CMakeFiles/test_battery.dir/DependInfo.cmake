@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_battery.cpp" "tests/CMakeFiles/test_battery.dir/test_battery.cpp.o" "gcc" "tests/CMakeFiles/test_battery.dir/test_battery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/helcfl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/helcfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/helcfl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/helcfl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/helcfl_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/helcfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/helcfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/helcfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helcfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_battery.dir/test_battery.cpp.o"
+  "CMakeFiles/test_battery.dir/test_battery.cpp.o.d"
+  "test_battery"
+  "test_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

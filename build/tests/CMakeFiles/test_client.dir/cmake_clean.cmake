@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client.dir/test_client.cpp.o"
+  "CMakeFiles/test_client.dir/test_client.cpp.o.d"
+  "test_client"
+  "test_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv2d.dir/test_conv2d.cpp.o"
+  "CMakeFiles/test_conv2d.dir/test_conv2d.cpp.o.d"
+  "test_conv2d"
+  "test_conv2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense.dir/test_dense.cpp.o"
+  "CMakeFiles/test_dense.dir/test_dense.cpp.o.d"
+  "test_dense"
+  "test_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvfs.dir/test_dvfs.cpp.o"
+  "CMakeFiles/test_dvfs.dir/test_dvfs.cpp.o.d"
+  "test_dvfs"
+  "test_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fading.dir/test_fading.cpp.o"
+  "CMakeFiles/test_fading.dir/test_fading.cpp.o.d"
+  "test_fading"
+  "test_fading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fedcs.dir/test_fedcs.cpp.o"
+  "CMakeFiles/test_fedcs.dir/test_fedcs.cpp.o.d"
+  "test_fedcs"
+  "test_fedcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fedcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

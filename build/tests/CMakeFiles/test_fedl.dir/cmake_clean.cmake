@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fedl.dir/test_fedl.cpp.o"
+  "CMakeFiles/test_fedl.dir/test_fedl.cpp.o.d"
+  "test_fedl"
+  "test_fedl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fedl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

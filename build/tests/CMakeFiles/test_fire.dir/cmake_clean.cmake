@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fire.dir/test_fire.cpp.o"
+  "CMakeFiles/test_fire.dir/test_fire.cpp.o.d"
+  "test_fire"
+  "test_fire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_decay.dir/test_greedy_decay.cpp.o"
+  "CMakeFiles/test_greedy_decay.dir/test_greedy_decay.cpp.o.d"
+  "test_greedy_decay"
+  "test_greedy_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

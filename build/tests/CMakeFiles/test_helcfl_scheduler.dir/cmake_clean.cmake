@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_helcfl_scheduler.dir/test_helcfl_scheduler.cpp.o"
+  "CMakeFiles/test_helcfl_scheduler.dir/test_helcfl_scheduler.cpp.o.d"
+  "test_helcfl_scheduler"
+  "test_helcfl_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_helcfl_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

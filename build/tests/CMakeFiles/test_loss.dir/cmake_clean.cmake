@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loss.dir/test_loss.cpp.o"
+  "CMakeFiles/test_loss.dir/test_loss.cpp.o.d"
+  "test_loss"
+  "test_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

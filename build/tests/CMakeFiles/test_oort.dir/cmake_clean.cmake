@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oort.dir/test_oort.cpp.o"
+  "CMakeFiles/test_oort.dir/test_oort.cpp.o.d"
+  "test_oort"
+  "test_oort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

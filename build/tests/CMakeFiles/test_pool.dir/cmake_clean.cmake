@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pool.dir/test_pool.cpp.o"
+  "CMakeFiles/test_pool.dir/test_pool.cpp.o.d"
+  "test_pool"
+  "test_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_selection.dir/test_random_selection.cpp.o"
+  "CMakeFiles/test_random_selection.dir/test_random_selection.cpp.o.d"
+  "test_random_selection"
+  "test_random_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

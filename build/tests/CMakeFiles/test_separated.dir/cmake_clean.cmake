@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_separated.dir/test_separated.cpp.o"
+  "CMakeFiles/test_separated.dir/test_separated.cpp.o.d"
+  "test_separated"
+  "test_separated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_separated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

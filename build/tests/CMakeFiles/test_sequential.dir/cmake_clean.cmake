@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential.dir/test_sequential.cpp.o"
+  "CMakeFiles/test_sequential.dir/test_sequential.cpp.o.d"
+  "test_sequential"
+  "test_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

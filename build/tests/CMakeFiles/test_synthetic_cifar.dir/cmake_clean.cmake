@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthetic_cifar.dir/test_synthetic_cifar.cpp.o"
+  "CMakeFiles/test_synthetic_cifar.dir/test_synthetic_cifar.cpp.o.d"
+  "test_synthetic_cifar"
+  "test_synthetic_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthetic_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

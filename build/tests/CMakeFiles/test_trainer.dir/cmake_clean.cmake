@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainer.dir/test_trainer.cpp.o"
+  "CMakeFiles/test_trainer.dir/test_trainer.cpp.o.d"
+  "test_trainer"
+  "test_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

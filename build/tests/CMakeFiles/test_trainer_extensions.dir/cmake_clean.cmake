@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainer_extensions.dir/test_trainer_extensions.cpp.o"
+  "CMakeFiles/test_trainer_extensions.dir/test_trainer_extensions.cpp.o.d"
+  "test_trainer_extensions"
+  "test_trainer_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainer_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

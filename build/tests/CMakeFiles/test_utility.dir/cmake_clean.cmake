@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utility.dir/test_utility.cpp.o"
+  "CMakeFiles/test_utility.dir/test_utility.cpp.o.d"
+  "test_utility"
+  "test_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
