@@ -19,6 +19,9 @@ inline sim::ExperimentConfig evaluation_config(bool noniid, std::uint64_t seed =
   config.noniid = noniid;
   config.trainer.max_rounds = 300;
   config.trainer.eval_every = 5;
+  // All hardware threads: the parallel round engine is bitwise
+  // deterministic, so sweep CSVs are unchanged by the worker count.
+  config.trainer.num_threads = 0;
   config.sl_eval_every = 25;
   config.sl_eval_users = 10;
   config.seed = seed;

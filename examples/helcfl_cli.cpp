@@ -9,7 +9,11 @@
 //              [--battery-j=F] [--fading-sigma-db=F]
 //              [--compress=none|quantization|sparsification]
 //              [--quant-bits=N] [--keep-ratio=F]
-//              [--csv=path] [--quiet]
+//              [--threads=N] [--csv=path] [--quiet]
+//
+// --threads=0 (the default) uses every hardware thread; --threads=1 forces
+// the sequential reference path.  Results are bitwise identical either way
+// (the parallel engine's determinism guarantee, DESIGN.md §7).
 //
 // Examples:
 //   helcfl_cli --scheme=helcfl --setting=noniid --rounds=300 --csv=run.csv
@@ -62,6 +66,9 @@ int main(int argc, char** argv) {
         args.get_double_or("keep-ratio", 0.1);
     config.trainer.eval_every =
         static_cast<std::size_t>(args.get_int_or("eval-every", 5));
+    const std::int64_t threads = args.get_int_or("threads", 0);
+    if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
+    config.trainer.num_threads = static_cast<std::size_t>(threads);
     const std::string csv_path = args.get_or("csv", "");
     if (args.get_bool_or("quiet", false)) util::set_log_level(util::LogLevel::kWarn);
 

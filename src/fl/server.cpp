@@ -1,5 +1,6 @@
 #include "fl/server.h"
 
+#include <future>
 #include <stdexcept>
 
 #include "nn/loss.h"
@@ -54,6 +55,66 @@ Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
     total_correct += loss.correct;
   }
 
+  Evaluation eval;
+  eval.loss = total_loss / static_cast<double>(dataset.size());
+  eval.accuracy =
+      static_cast<double>(total_correct) / static_cast<double>(dataset.size());
+  return eval;
+}
+
+Evaluation evaluate_parallel(std::span<nn::Sequential* const> replicas,
+                             std::span<const float> weights,
+                             const data::Dataset& dataset, std::size_t batch_size,
+                             util::ThreadPool& pool) {
+  if (dataset.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+  if (pool.worker_count() == 0) {
+    if (replicas.size() != 1) {
+      throw std::invalid_argument("evaluate_parallel: inline pool needs 1 replica");
+    }
+    return evaluate(*replicas.front(), weights, dataset, batch_size);
+  }
+  if (replicas.size() != pool.worker_count()) {
+    throw std::invalid_argument("evaluate_parallel: need one replica per worker");
+  }
+  if (batch_size == 0) batch_size = dataset.size();
+  for (nn::Sequential* replica : replicas) nn::load_parameters(*replica, weights);
+
+  const std::size_t n_batches = (dataset.size() + batch_size - 1) / batch_size;
+  std::vector<double> batch_loss(n_batches, 0.0);
+  std::vector<std::size_t> batch_correct(n_batches, 0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n_batches);
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    futures.push_back(pool.submit([&, b] {
+      const std::size_t begin = b * batch_size;
+      const std::size_t end = std::min(begin + batch_size, dataset.size());
+      std::vector<std::size_t> indices(end - begin);
+      for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+      const data::Batch batch = dataset.gather(indices);
+      nn::Sequential& model = *replicas[util::ThreadPool::worker_index()];
+      const tensor::Tensor logits = model.forward(batch.images, /*training=*/false);
+      const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
+      batch_loss[b] = loss.loss * static_cast<double>(batch.size());
+      batch_correct[b] = loss.correct;
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Reduce in batch order: the same summation order as the sequential path.
+  double total_loss = 0.0;
+  std::size_t total_correct = 0;
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    total_loss += batch_loss[b];
+    total_correct += batch_correct[b];
+  }
   Evaluation eval;
   eval.loss = total_loss / static_cast<double>(dataset.size());
   eval.accuracy =

@@ -8,6 +8,7 @@
 
 #include "data/dataset.h"
 #include "nn/sequential.h"
+#include "util/thread_pool.h"
 
 namespace helcfl::fl {
 
@@ -32,5 +33,18 @@ struct Evaluation {
 /// peak memory.  Leaves `weights` loaded in the model.
 Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
                     const data::Dataset& dataset, std::size_t batch_size = 256);
+
+/// Multi-threaded evaluate: distributes the evaluation batches over `pool`,
+/// where worker i forwards through `replicas[i]` (one model per worker, so
+/// layer caches never race).  `weights` is loaded into every replica first
+/// and per-batch losses are reduced in batch order, making the result
+/// bitwise identical to the sequential evaluate above for any worker count.
+/// Requires replicas.size() == pool.worker_count(); with an inline pool
+/// (worker_count() == 0) it requires exactly one replica and degrades to
+/// the sequential path.
+Evaluation evaluate_parallel(std::span<nn::Sequential* const> replicas,
+                             std::span<const float> weights,
+                             const data::Dataset& dataset, std::size_t batch_size,
+                             util::ThreadPool& pool);
 
 }  // namespace helcfl::fl

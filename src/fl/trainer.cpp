@@ -1,6 +1,8 @@
 #include "fl/trainer.h"
 
 #include <algorithm>
+#include <exception>
+#include <future>
 #include <stdexcept>
 
 #include "fl/server.h"
@@ -9,8 +11,25 @@
 #include "nn/serialize.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace helcfl::fl {
+
+namespace {
+
+/// Everything one client's round produces, computed independently of every
+/// other client so the cohort can train in parallel.  Slots are reduced in
+/// selection order, which keeps FedAvg and the metrics trace bitwise
+/// identical for any worker count.
+struct ClientOutcome {
+  ClientUpdate update;           ///< weights already post-compression
+  double compute_delay_s = 0.0;
+  double upload_duration_s = 0.0;
+  double energy_j = 0.0;
+  std::vector<float> state;      ///< post-training persistent buffers
+};
+
+}  // namespace
 
 FederatedTrainer::FederatedTrainer(nn::Sequential& model, const data::Dataset& train,
                                    const data::Dataset& test,
@@ -59,6 +78,24 @@ TrainingHistory FederatedTrainer::run() {
   mec::FadingProcess fading(users_.size(), options_.fading,
                             util::Rng(options_.seed).fork(0xFAD1A6));
 
+  // Parallel round-execution engine (DESIGN.md §7): a fixed worker pool
+  // with one model replica per worker.  num_threads <= 1 spawns no workers
+  // and every client trains inline on the borrowed model — the reference
+  // sequential path.  Replicas never outlive the pool that indexes them.
+  util::ThreadPool pool(util::ThreadPool::resolve_thread_count(options_.num_threads));
+  std::vector<std::unique_ptr<nn::Sequential>> replicas;
+  std::vector<nn::Sequential*> eval_models;
+  replicas.reserve(pool.worker_count());
+  for (std::size_t i = 0; i < pool.worker_count(); ++i) {
+    replicas.push_back(std::make_unique<nn::Sequential>(model_));
+    eval_models.push_back(replicas.back().get());
+  }
+  // Persistent non-trainable buffers (BatchNorm running statistics): each
+  // client starts from the round-start snapshot regardless of the worker it
+  // lands on, and the server adopts the selection-order-last client's
+  // buffers, so the protocol is thread-count invariant.
+  const bool has_state = nn::state_count(model_) > 0;
+
   std::vector<float> global_weights = nn::extract_parameters(model_);
   TrainingHistory history;
   double cum_delay = 0.0;
@@ -87,16 +124,16 @@ TrainingHistory FederatedTrainer::run() {
 
     fading.step();
 
-    // Lines 6-9: local updates in parallel, uploads serialized by TDMA.
-    std::vector<ClientUpdate> updates;
-    std::vector<double> compute_delays;
-    std::vector<double> upload_durations;
-    std::vector<double> user_energies;
-    std::vector<double> client_losses;
-    double round_energy = 0.0;
-    double train_loss_sum = 0.0;
-    updates.reserve(decision.selected.size());
-    for (std::size_t k = 0; k < decision.selected.size(); ++k) {
+    // Per-client inputs resolved on the coordinator thread, in selection
+    // order: decision sanity checks, this round's fading multipliers, and
+    // the pre-forked RNG stream of each client.  fork() is keyed on
+    // (round, user) alone, so a client's mini-batch draws are the same no
+    // matter when or where its task runs.
+    const std::size_t cohort = decision.selected.size();
+    std::vector<double> fade_multipliers(cohort, 1.0);
+    std::vector<util::Rng> client_rngs;
+    client_rngs.reserve(cohort);
+    for (std::size_t k = 0; k < cohort; ++k) {
       const std::size_t user = decision.selected[k];
       const double f = decision.frequencies_hz[k];
       if (batteries_enabled && !batteries_.is_alive(user)) {
@@ -106,12 +143,29 @@ TrainingHistory FederatedTrainer::run() {
       if (f < device.f_min_hz - 1e-6 || f > device.f_max_hz + 1e-6) {
         throw std::logic_error("FederatedTrainer: frequency outside DVFS range");
       }
+      fade_multipliers[k] = fading.multiplier(user);
+      client_rngs.push_back(batch_rng.fork(round * users_.size() + user));
+    }
 
-      util::Rng client_rng = batch_rng.fork(round * users_.size() + user);
-      ClientUpdate update = local_update(model_, global_weights, user_data_[user],
-                                         options_.client, client_rng);
-      train_loss_sum += update.train_loss;
-      client_losses.push_back(update.train_loss);
+    const std::vector<float> round_state =
+        has_state ? nn::extract_state(model_) : std::vector<float>{};
+
+    // Lines 6-9: local updates in parallel (now literally), uploads
+    // serialized by TDMA.  Each task owns outcome slot k; the upload
+    // compression path runs inside the task so it parallelizes too.
+    std::vector<ClientOutcome> outcomes(cohort);
+    auto run_client = [&](std::size_t k) {
+      const std::size_t user = decision.selected[k];
+      const double f = decision.frequencies_hz[k];
+      const std::size_t worker = util::ThreadPool::worker_index();
+      nn::Sequential& model =
+          worker == util::ThreadPool::npos ? model_ : *replicas[worker];
+      if (has_state) nn::load_state(model, round_state);
+
+      util::Rng client_rng = client_rngs[k];
+      ClientOutcome outcome;
+      outcome.update = local_update(model, global_weights, user_data_[user],
+                                    options_.client, client_rng);
 
       // Upload compression decides what the server integrates and scales
       // the simulated payload: C_model is a config knob decoupled from the
@@ -119,41 +173,79 @@ TrainingHistory FederatedTrainer::run() {
       // Eq. (7) is C_model times the compression ratio achieved on the
       // real weight vector.
       const nn::CompressedModel compressed =
-          nn::compress(update.weights, options_.compression);
+          nn::compress(outcome.update.weights, options_.compression);
       const double compression_ratio =
           static_cast<double>(compressed.wire_bits) /
-          (32.0 * static_cast<double>(update.weights.size()));
+          (32.0 * static_cast<double>(outcome.update.weights.size()));
       const double wire_bits = options_.model_size_bits * compression_ratio;
-      update.weights = std::move(compressed.reconstructed);
-      updates.push_back(std::move(update));
+      outcome.update.weights = std::move(compressed.reconstructed);
 
       // Fading perturbs this round's actual channel gain; strategies only
       // knew the init-time value.
+      const mec::Device& device = devices_[user];
       mec::Device faded = device;
-      faded.channel_gain_sq *= fading.multiplier(user);
+      faded.channel_gain_sq *= fade_multipliers[k];
 
-      compute_delays.push_back(mec::compute_delay_s(device, f));
-      upload_durations.push_back(mec::upload_delay_s(faded, channel_, wire_bits));
-      const double user_energy =
-          mec::compute_energy_j(device, f) +
-          mec::upload_energy_j(faded, channel_, wire_bits);
-      user_energies.push_back(user_energy);
-      round_energy += user_energy;
+      outcome.compute_delay_s = mec::compute_delay_s(device, f);
+      outcome.upload_duration_s = mec::upload_delay_s(faded, channel_, wire_bits);
+      outcome.energy_j = mec::compute_energy_j(device, f) +
+                         mec::upload_energy_j(faded, channel_, wire_bits);
+      if (has_state) outcome.state = nn::extract_state(model);
+      outcomes[k] = std::move(outcome);
+    };
+
+    if (pool.worker_count() == 0) {
+      for (std::size_t k = 0; k < cohort; ++k) run_client(k);
+    } else {
+      std::vector<std::future<void>> futures;
+      futures.reserve(cohort);
+      for (std::size_t k = 0; k < cohort; ++k) {
+        futures.push_back(pool.submit([&run_client, k] { run_client(k); }));
+      }
+      // Join every task before letting any exception escape: the tasks
+      // reference this frame's state.  The first failure in selection
+      // order wins, mirroring where the sequential loop would have thrown.
+      std::exception_ptr first_error;
+      for (auto& future : futures) {
+        try {
+          future.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+    }
+
+    // Ordered reduction (selection order), identical to the sequential loop.
+    std::vector<double> compute_delays;
+    std::vector<double> upload_durations;
+    std::vector<double> user_energies;
+    std::vector<double> client_losses;
+    double round_energy = 0.0;
+    double train_loss_sum = 0.0;
+    for (const ClientOutcome& outcome : outcomes) {
+      train_loss_sum += outcome.update.train_loss;
+      client_losses.push_back(outcome.update.train_loss);
+      compute_delays.push_back(outcome.compute_delay_s);
+      upload_durations.push_back(outcome.upload_duration_s);
+      user_energies.push_back(outcome.energy_j);
+      round_energy += outcome.energy_j;
     }
     const mec::TdmaSchedule schedule =
         mec::schedule_uploads(compute_delays, upload_durations);
 
     // Line 10: FedAvg integration (Eq. 18).
     std::vector<WeightedModel> uploads;
-    uploads.reserve(updates.size());
-    for (const auto& update : updates) {
-      uploads.push_back({update.weights, update.num_samples});
+    uploads.reserve(outcomes.size());
+    for (const ClientOutcome& outcome : outcomes) {
+      uploads.push_back({outcome.update.weights, outcome.update.num_samples});
     }
     global_weights = fedavg(uploads);
     strategy_.observe(round, decision, client_losses);
+    if (has_state) nn::load_state(model_, outcomes.back().state);
 
     if (batteries_enabled) {
-      for (std::size_t k = 0; k < decision.selected.size(); ++k) {
+      for (std::size_t k = 0; k < cohort; ++k) {
         batteries_.drain(decision.selected[k], user_energies[k]);
       }
     }
@@ -168,15 +260,26 @@ TrainingHistory FederatedTrainer::run() {
     record.round_energy_j = round_energy;
     record.cum_delay_s = cum_delay;
     record.cum_energy_j = cum_energy;
-    record.train_loss = train_loss_sum / static_cast<double>(updates.size());
+    record.train_loss = train_loss_sum / static_cast<double>(outcomes.size());
     record.alive_users =
         batteries_enabled ? batteries_.alive_count() : users_.size();
 
     const bool last_round = round + 1 == options_.max_rounds;
     const bool over_deadline = cum_delay > options_.deadline_s;
     if (round % options_.eval_every == 0 || last_round || over_deadline) {
-      const Evaluation eval =
-          evaluate(model_, global_weights, test_, options_.eval_batch);
+      Evaluation eval;
+      if (pool.worker_count() == 0) {
+        eval = evaluate(model_, global_weights, test_, options_.eval_batch);
+      } else {
+        if (has_state) {
+          const std::vector<float> eval_state = nn::extract_state(model_);
+          for (nn::Sequential* replica : eval_models) {
+            nn::load_state(*replica, eval_state);
+          }
+        }
+        eval = evaluate_parallel(eval_models, global_weights, test_,
+                                 options_.eval_batch, pool);
+      }
       record.evaluated = true;
       record.test_loss = eval.loss;
       record.test_accuracy = eval.accuracy;

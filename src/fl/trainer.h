@@ -36,6 +36,15 @@ struct TrainerOptions {
   std::uint64_t seed = 1;        ///< mini-batch sampling stream
   double target_accuracy = -1.0; ///< stop early once reached (< 0 = never)
 
+  /// Worker threads for the per-round client loop, upload compression, and
+  /// held-out evaluation.  1 = inline sequential execution (the reference
+  /// path), 0 = auto (hardware_concurrency), N >= 2 = fixed pool of N.
+  /// Client updates run on per-worker model replicas with pre-forked RNG
+  /// streams and are reduced in selection order, so the training trace and
+  /// final weights are bitwise identical for every value of this knob
+  /// (DESIGN.md §7; models containing Dropout are the documented exception).
+  std::size_t num_threads = 1;
+
   /// Algorithm 1's convergence exit: after each round the FLCC checks
   /// whether the global model has converged.  With window >= 2, training
   /// stops once the spread (max - min) of the last `window` rounds' mean

@@ -10,6 +10,7 @@ class ReLU : public Layer {
  public:
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<ReLU>(); }
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -22,6 +23,9 @@ class LeakyReLU : public Layer {
   explicit LeakyReLU(float negative_slope = 0.01F) : slope_(negative_slope) {}
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<LeakyReLU>(slope_);
+  }
   std::string name() const override;
 
  private:
@@ -34,6 +38,7 @@ class Tanh : public Layer {
  public:
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(); }
   std::string name() const override { return "Tanh"; }
 
  private:

@@ -28,6 +28,26 @@ BatchNorm::BatchNorm(std::size_t num_features, float momentum, float epsilon)
   running_var_.fill(1.0F);
 }
 
+BatchNorm::BatchNorm(const BatchNorm& other)
+    : Layer(),
+      features_(other.features_),
+      momentum_(other.momentum_),
+      epsilon_(other.epsilon_),
+      gamma_(other.gamma_),
+      beta_(other.beta_),
+      grad_gamma_(other.grad_gamma_),
+      grad_beta_(other.grad_beta_),
+      running_mean_(other.running_mean_),
+      running_var_(other.running_var_) {}
+
+std::unique_ptr<Layer> BatchNorm::clone() const {
+  return std::make_unique<BatchNorm>(*this);
+}
+
+std::vector<std::span<float>> BatchNorm::state_buffers() {
+  return {running_mean_.data(), running_var_.data()};
+}
+
 std::size_t BatchNorm::feature_of(const Shape& shape, std::size_t flat) const {
   if (shape.rank() == 2) return flat % features_;
   // rank 4, NCHW: feature = channel.

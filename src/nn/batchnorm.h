@@ -20,10 +20,14 @@ class BatchNorm : public Layer {
   /// `num_features` is F for rank-2 inputs and C for rank-4 inputs.
   explicit BatchNorm(std::size_t num_features, float momentum = 0.1F,
                      float epsilon = 1e-5F);
+  BatchNorm(const BatchNorm& other);
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
+  /// Running mean/var: persistent state updated by training forwards.
+  std::vector<std::span<float>> state_buffers() override;
   std::string name() const override;
 
   std::size_t num_features() const { return features_; }

@@ -28,6 +28,22 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
   weight_.fill_normal(rng, 0.0F, std::sqrt(2.0F / fan_in));
 }
 
+Conv2D::Conv2D(const Conv2D& other)
+    : Layer(),
+      in_channels_(other.in_channels_),
+      out_channels_(other.out_channels_),
+      kernel_(other.kernel_),
+      stride_(other.stride_),
+      padding_(other.padding_),
+      weight_(other.weight_),
+      bias_(other.bias_),
+      grad_weight_(other.grad_weight_),
+      grad_bias_(other.grad_bias_) {}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  return std::make_unique<Conv2D>(*this);
+}
+
 std::size_t Conv2D::output_extent(std::size_t input_extent) const {
   const std::size_t padded = input_extent + 2 * padding_;
   if (padded < kernel_) {

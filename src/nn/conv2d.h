@@ -19,10 +19,12 @@ class Conv2D : public Layer {
   /// He-initializes the kernel with `rng`; bias starts at zero.
   Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_size,
          std::size_t stride, std::size_t padding, util::Rng& rng);
+  Conv2D(const Conv2D& other);
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
 
   std::size_t in_channels() const { return in_channels_; }

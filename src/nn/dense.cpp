@@ -23,6 +23,17 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng)
   weight_.fill_normal(rng, 0.0F, stddev);
 }
 
+Dense::Dense(const Dense& other)
+    : Layer(),
+      in_features_(other.in_features_),
+      out_features_(other.out_features_),
+      weight_(other.weight_),
+      bias_(other.bias_),
+      grad_weight_(other.grad_weight_),
+      grad_bias_(other.grad_bias_) {}
+
+std::unique_ptr<Layer> Dense::clone() const { return std::make_unique<Dense>(*this); }
+
 Tensor Dense::forward(const Tensor& input, bool training) {
   if (input.shape().rank() != 2 || input.shape()[1] != in_features_) {
     throw std::invalid_argument("Dense::forward: expected [batch, " +

@@ -17,10 +17,12 @@ class Dense : public Layer {
  public:
   /// He-initializes the weight with `rng`; bias starts at zero.
   Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+  Dense(const Dense& other);
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
 
   std::size_t in_features() const { return in_features_; }

@@ -14,6 +14,12 @@ Dropout::Dropout(float p, util::Rng& rng) : p_(p), rng_(rng.fork(0x6d61736bULL))
   }
 }
 
+Dropout::Dropout(const Dropout& other) : Layer(), p_(other.p_), rng_(other.rng_) {}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(*this);
+}
+
 Tensor Dropout::forward(const Tensor& input, bool training) {
   if (!training || p_ == 0.0F) {
     mask_ = Tensor();  // inference mode: nothing cached

@@ -12,9 +12,15 @@ class Dropout : public Layer {
   /// `p` is the drop probability in [0, 1).  The layer forks its own RNG
   /// stream from `rng` so dropout masks are reproducible.
   Dropout(float p, util::Rng& rng);
+  Dropout(const Dropout& other);
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  /// Clones duplicate the current RNG stream; replicas trained on
+  /// different inputs draw different mask sequences, so models containing
+  /// Dropout are not bitwise-reproducible across thread counts (DESIGN.md
+  /// §7).  None of the model-zoo architectures use Dropout.
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
 
  private:

@@ -42,6 +42,16 @@ Fire::Fire(std::size_t in_channels, std::size_t squeeze, std::size_t expand1x1,
       expand3_(squeeze, expand3x3, /*kernel_size=*/3, /*stride=*/1, /*padding=*/1,
                rng) {}
 
+Fire::Fire(const Fire& other)
+    : Layer(),
+      expand1_channels_(other.expand1_channels_),
+      expand3_channels_(other.expand3_channels_),
+      squeeze_(other.squeeze_),
+      expand1_(other.expand1_),
+      expand3_(other.expand3_) {}
+
+std::unique_ptr<Layer> Fire::clone() const { return std::make_unique<Fire>(*this); }
+
 Tensor Fire::forward(const Tensor& input, bool training) {
   Tensor s = squeeze_.forward(input, training);
   relu_inplace(s);

@@ -20,10 +20,12 @@ class Fire : public Layer {
   /// Output channel count is expand1x1 + expand3x3.
   Fire(std::size_t in_channels, std::size_t squeeze, std::size_t expand1x1,
        std::size_t expand3x3, util::Rng& rng);
+  Fire(const Fire& other);
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override;
 
   std::size_t out_channels() const { return expand1_channels_ + expand3_channels_; }

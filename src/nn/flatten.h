@@ -9,6 +9,9 @@ class Flatten : public Layer {
  public:
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>();
+  }
   std::string name() const override { return "Flatten"; }
 
  private:

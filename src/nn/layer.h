@@ -10,7 +10,9 @@
 // becomes identity) and may skip caching.
 #pragma once
 
+#include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,22 @@ class Layer {
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Deep copy of this layer, including parameters and persistent
+  /// (non-trainable) state.  The parallel trainer clones one model replica
+  /// per worker thread so concurrent clients never share layer storage.
+  /// Layers that cannot be replicated may keep the throwing default, but
+  /// every layer shipped in src/nn overrides it.
+  virtual std::unique_ptr<Layer> clone() const {
+    throw std::logic_error(name() + ": clone() not supported");
+  }
+
+  /// Mutable views of persistent non-trainable state that training-mode
+  /// forward passes update (e.g. BatchNorm running statistics).  Unlike
+  /// params(), these buffers do not travel through FedAvg; the parallel
+  /// trainer snapshots and restores them per client so results are
+  /// independent of the worker a client lands on.  Empty by default.
+  virtual std::vector<std::span<float>> state_buffers() { return {}; }
 
   /// Clears all gradient accumulators.
   void zero_grad() {

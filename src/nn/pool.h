@@ -15,6 +15,9 @@ class MaxPool2D : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2D>(kernel_, stride_);
+  }
   std::string name() const override;
 
  private:
@@ -29,6 +32,9 @@ class GlobalAvgPool2D : public Layer {
  public:
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool2D>();
+  }
   std::string name() const override { return "GlobalAvgPool2D"; }
 
  private:

@@ -6,6 +6,11 @@ namespace helcfl::nn {
 
 using tensor::Tensor;
 
+Sequential::Sequential(const Sequential& other) : Layer() {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
 void Sequential::add(std::unique_ptr<Layer> layer) {
   if (!layer) throw std::invalid_argument("Sequential::add: null layer");
   layers_.push_back(std::move(layer));
@@ -29,6 +34,18 @@ std::vector<ParamRef> Sequential::params() {
   std::vector<ParamRef> all;
   for (auto& layer : layers_) {
     for (auto& p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  return std::make_unique<Sequential>(*this);
+}
+
+std::vector<std::span<float>> Sequential::state_buffers() {
+  std::vector<std::span<float>> all;
+  for (auto& layer : layers_) {
+    for (auto& s : layer->state_buffers()) all.push_back(s);
   }
   return all;
 }

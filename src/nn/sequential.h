@@ -12,6 +12,10 @@ class Sequential : public Layer {
  public:
   Sequential() = default;
 
+  /// Deep copy: clones every layer.  The parallel trainer copy-constructs
+  /// one replica per worker thread from the global model.
+  Sequential(const Sequential& other);
+
   /// Appends a layer (takes ownership).
   void add(std::unique_ptr<Layer> layer);
 
@@ -27,6 +31,8 @@ class Sequential : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
+  std::vector<std::span<float>> state_buffers() override;
   std::string name() const override;
 
   std::size_t layer_count() const { return layers_.size(); }

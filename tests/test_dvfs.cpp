@@ -172,5 +172,39 @@ TEST(Dvfs, UploadOrderIsAscendingComputeDelay) {
   }
 }
 
+TEST(Dvfs, EveryFollowerBelowFminClampsToFminExactly) {
+  // Single-sample devices compute in ~5 ms but uploads take ~0.46 s, so
+  // every follower's ideal stretch frequency (total_cycles / predecessor's
+  // upload end) lands far below f_min: the whole tail of the chain must
+  // clamp to f_min exactly, uploads must still wait for the link, and the
+  // round delay must stay at the max-frequency baseline.
+  const auto users = consistent_fleet({{2.0, 1}, {1.8, 1}, {1.6, 1}});
+  const auto selected = all_indices(3);
+  const FrequencyPlan plan = determine_frequencies({users}, selected);
+  ASSERT_EQ(plan.assignments.size(), 3u);
+
+  const auto& first = plan.assignments[0];
+  EXPECT_EQ(first.user, 0u);  // fastest compute goes first
+  EXPECT_DOUBLE_EQ(first.frequency_hz, users[0].device.f_max_hz);
+  for (std::size_t k = 1; k < plan.assignments.size(); ++k) {
+    const auto& a = plan.assignments[k];
+    const auto& prev = plan.assignments[k - 1];
+    EXPECT_DOUBLE_EQ(a.frequency_hz, users[a.user].device.f_min_hz)
+        << "follower " << k << " should clamp to f_min";
+    // Compute finished before the link freed; upload waits for the link.
+    EXPECT_LE(a.compute_end_s, prev.upload_end_s);
+    EXPECT_DOUBLE_EQ(a.upload_start_s, prev.upload_end_s);
+  }
+
+  std::vector<double> compute_max;
+  std::vector<double> upload;
+  for (const auto i : selected) {
+    compute_max.push_back(users[i].t_cal_max_s);
+    upload.push_back(users[i].t_com_s);
+  }
+  const double baseline = mec::schedule_uploads(compute_max, upload).round_delay_s;
+  EXPECT_NEAR(plan.round_delay_s, baseline, 1e-9);
+}
+
 }  // namespace
 }  // namespace helcfl::core

@@ -19,6 +19,13 @@ TEST(SelectionCount, AtLeastOne) {
   EXPECT_EQ(selection_count(3, 0.01), 1u);
 }
 
+TEST(SelectionCount, QcBelowHalfRoundsDownToZeroButStillSelectsOne) {
+  // Q*C = 0.4 -> llround gives 0; the clamp must lift it to a single user,
+  // otherwise the round would train nobody.
+  EXPECT_EQ(selection_count(100, 0.004), 1u);
+  EXPECT_EQ(selection_count(1, 0.4), 1u);
+}
+
 TEST(SelectionCount, NeverExceedsFleet) {
   EXPECT_EQ(selection_count(5, 1.0), 5u);
 }

@@ -106,6 +106,19 @@ TEST(Simulation, AutoFedcsDeadlineMatchesFastestCohort) {
   EXPECT_GE(d.selected.size(), 4u);
 }
 
+TEST(Simulation, AutoFedcsDeadlineSingleUserFleet) {
+  // With one user the doubled cohort still clamps to N = 1, so the auto
+  // deadline is exactly that user's serial round time t_cal + t_com.
+  const auto users = testing::users_with_delays({{2.0, 1.0}});
+  const double deadline = auto_fedcs_deadline({users}, 0.3);
+  EXPECT_DOUBLE_EQ(deadline, 3.0);
+  // The deadline it derives must admit the only user there is.
+  sched::FedCsSelection strategy(deadline);
+  const sched::Decision d = strategy.decide({users}, 0);
+  ASSERT_EQ(d.selected.size(), 1u);
+  EXPECT_EQ(d.selected[0], 0u);
+}
+
 TEST(Simulation, MakeStrategyReturnsNullForSl) {
   const ExperimentConfig c = tiny_config(Scheme::kSl);
   const auto devices = testing::linear_fleet(5, 20);
