@@ -9,11 +9,17 @@
 //              [--battery-j=F] [--fading-sigma-db=F]
 //              [--compress=none|quantization|sparsification]
 //              [--quant-bits=N] [--keep-ratio=F]
+//              [--crash-rate=F] [--upload-fail-rate=F]
+//              [--straggler-rate=F] [--straggler-slowdown=F]
+//              [--churn-leave=F] [--churn-rejoin=F]
+//              [--max-retries=N] [--retry-backoff-s=F]
+//              [--straggler-cutoff-s=F] [--min-clients=N]
 //              [--threads=N] [--csv=path] [--quiet]
 //
 // --threads=0 (the default) uses every hardware thread; --threads=1 forces
 // the sequential reference path.  Results are bitwise identical either way
-// (the parallel engine's determinism guarantee, DESIGN.md §7).
+// (the parallel engine's determinism guarantee, DESIGN.md §7) — including
+// with faults enabled, whose draws are forked per (round, user).
 //
 // Examples:
 //   helcfl_cli --scheme=helcfl --setting=noniid --rounds=300 --csv=run.csv
@@ -66,6 +72,24 @@ int main(int argc, char** argv) {
         args.get_double_or("keep-ratio", 0.1);
     config.trainer.eval_every =
         static_cast<std::size_t>(args.get_int_or("eval-every", 5));
+    // Failure-aware execution (DESIGN.md §8).  Any non-zero fault rate
+    // switches the injector on; the robustness policies work regardless.
+    config.trainer.faults.crash_rate = args.get_double_or("crash-rate", 0.0);
+    config.trainer.faults.upload_failure_rate =
+        args.get_double_or("upload-fail-rate", 0.0);
+    config.trainer.faults.straggler_rate = args.get_double_or("straggler-rate", 0.0);
+    config.trainer.faults.straggler_slowdown =
+        args.get_double_or("straggler-slowdown", 4.0);
+    config.trainer.faults.leave_rate = args.get_double_or("churn-leave", 0.0);
+    config.trainer.faults.rejoin_rate = args.get_double_or("churn-rejoin", 0.25);
+    config.trainer.faults.enabled = config.trainer.faults.any_fault_possible();
+    config.trainer.max_upload_retries =
+        static_cast<std::size_t>(args.get_int_or("max-retries", 0));
+    config.trainer.retry_backoff_s = args.get_double_or("retry-backoff-s", 0.0);
+    const double cutoff_s = args.get_double_or("straggler-cutoff-s", 0.0);
+    if (cutoff_s > 0.0) config.trainer.straggler_cutoff_s = cutoff_s;
+    config.trainer.min_clients =
+        static_cast<std::size_t>(args.get_int_or("min-clients", 1));
     const std::int64_t threads = args.get_int_or("threads", 0);
     if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
     config.trainer.num_threads = static_cast<std::size_t>(threads);
@@ -94,6 +118,19 @@ int main(int argc, char** argv) {
     if (config.trainer.battery_capacity_j > 0.0 && !result.history.empty()) {
       std::printf("fleet alive     %zu / %zu devices at the end\n",
                   result.history.back().alive_users, config.n_users);
+    }
+    if (config.trainer.faults.enabled) {
+      std::printf("failed rounds   %zu / %zu (quorum < %zu survivors)\n",
+                  result.history.failed_round_count(), result.history.size(),
+                  config.trainer.min_clients);
+      std::printf("crashes         %zu   upload failures %zu   dropped late %zu\n",
+                  result.history.total_crashes(),
+                  result.history.total_upload_failures(),
+                  result.history.total_dropped_late());
+      std::printf("retries         %zu\n", result.history.total_retries());
+      std::printf("wasted energy   %s of %s\n",
+                  sim::format_joules(result.history.total_wasted_energy_j()).c_str(),
+                  sim::format_joules(result.history.total_energy_j()).c_str());
     }
     for (const double target : {0.5, 0.58, 0.65}) {
       std::printf("time to %2.0f%%     %s\n", target * 100.0,

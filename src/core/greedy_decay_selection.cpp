@@ -49,6 +49,10 @@ std::vector<std::size_t> GreedyDecaySelector::select(const sched::FleetView& fle
   return order;
 }
 
+void GreedyDecaySelector::revoke_appearance(std::size_t user) {
+  if (user < counters_.size() && counters_[user] > 0) --counters_[user];
+}
+
 void GreedyDecaySelector::reset() { counters_.clear(); }
 
 }  // namespace helcfl::core

@@ -27,6 +27,11 @@ class GreedyDecaySelector {
   /// Appearance counters alpha_q (empty before the first select()).
   std::span<const std::size_t> appearance_counts() const { return counters_; }
 
+  /// Reverts the appearance increment of one selected user (failure-aware
+  /// execution: a crashed/dropped client's data never entered the model, so
+  /// its Eq.-(20) utility must not decay).  No-op if the counter is 0.
+  void revoke_appearance(std::size_t user);
+
   /// Clears all counters (start of a fresh training run).
   void reset();
 

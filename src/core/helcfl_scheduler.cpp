@@ -1,5 +1,7 @@
 #include "core/helcfl_scheduler.h"
 
+#include <stdexcept>
+
 #include "core/dvfs.h"
 
 namespace helcfl::core {
@@ -24,6 +26,17 @@ sched::Decision HelcflScheduler::decide(const sched::FleetView& fleet,
     }
   }
   return decision;
+}
+
+void HelcflScheduler::report_completion(std::size_t /*round*/,
+                                        const sched::Decision& decision,
+                                        std::span<const std::uint8_t> completed) {
+  if (decision.selected.size() != completed.size()) {
+    throw std::invalid_argument("HelcflScheduler::report_completion: size mismatch");
+  }
+  for (std::size_t k = 0; k < completed.size(); ++k) {
+    if (completed[k] == 0) selector_.revoke_appearance(decision.selected[k]);
+  }
 }
 
 void HelcflScheduler::reset() { selector_.reset(); }

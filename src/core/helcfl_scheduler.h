@@ -21,6 +21,12 @@ class HelcflScheduler : public sched::SelectionStrategy {
   explicit HelcflScheduler(const HelcflOptions& options);
 
   sched::Decision decide(const sched::FleetView& fleet, std::size_t round) override;
+  /// Failure-aware correction: Algorithm 2 increments α_q at selection
+  /// time, but a client whose update never entered the model contributed
+  /// no data, so its appearance (and thus its Eq.-(20) utility decay) is
+  /// revoked here.
+  void report_completion(std::size_t round, const sched::Decision& decision,
+                         std::span<const std::uint8_t> completed) override;
   void reset() override;
   std::string name() const override;
 

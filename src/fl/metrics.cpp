@@ -46,6 +46,52 @@ std::optional<std::size_t> TrainingHistory::round_of_first_depletion(
   return std::nullopt;
 }
 
+std::vector<std::size_t> TrainingHistory::aggregation_counts(std::size_t n_users) const {
+  std::vector<std::size_t> counts(n_users, 0);
+  for (const auto& r : rounds_) {
+    for (const std::size_t user : r.aggregated) {
+      if (user < n_users) ++counts[user];
+    }
+  }
+  return counts;
+}
+
+std::size_t TrainingHistory::failed_round_count() const {
+  std::size_t count = 0;
+  for (const auto& r : rounds_) count += r.quorum_failed ? 1 : 0;
+  return count;
+}
+
+std::size_t TrainingHistory::total_crashes() const {
+  std::size_t count = 0;
+  for (const auto& r : rounds_) count += r.crashed;
+  return count;
+}
+
+std::size_t TrainingHistory::total_upload_failures() const {
+  std::size_t count = 0;
+  for (const auto& r : rounds_) count += r.upload_failures;
+  return count;
+}
+
+std::size_t TrainingHistory::total_dropped_late() const {
+  std::size_t count = 0;
+  for (const auto& r : rounds_) count += r.dropped_late;
+  return count;
+}
+
+std::size_t TrainingHistory::total_retries() const {
+  std::size_t count = 0;
+  for (const auto& r : rounds_) count += r.retries;
+  return count;
+}
+
+double TrainingHistory::total_wasted_energy_j() const {
+  double total = 0.0;
+  for (const auto& r : rounds_) total += r.wasted_energy_j;
+  return total;
+}
+
 double TrainingHistory::selection_fairness(std::size_t n_users) const {
   const auto counts = selection_counts(n_users);
   double sum = 0.0;

@@ -25,6 +25,23 @@ struct RoundRecord {
   std::size_t alive_users = 0;    ///< devices with charge left after this
                                   ///< round (battery extension; equals the
                                   ///< fleet size when batteries are off)
+
+  // --- failure-aware execution (fault-injection extension, DESIGN.md §8);
+  // --- all zero / false when faults are disabled ---
+  std::vector<std::size_t> aggregated;  ///< users whose updates entered the
+                                        ///< model (== selected, fault-free)
+  std::size_t survivors = 0;      ///< aggregated.size() (0 on failed rounds)
+  std::size_t crashed = 0;        ///< clients whose local update died
+  std::size_t upload_failures = 0;  ///< clients whose every upload attempt failed
+  std::size_t dropped_late = 0;   ///< updates discarded at the straggler cutoff
+  std::size_t retries = 0;        ///< extra upload attempts across the cohort
+  bool quorum_failed = false;     ///< fewer than min_clients survivors: the
+                                  ///< global model was left unchanged
+  double wasted_energy_j = 0.0;   ///< energy of clients whose updates never
+                                  ///< entered the model (whole round when
+                                  ///< the quorum failed)
+  std::size_t available_users = 0;  ///< selectable devices this round (churn
+                                    ///< ∧ battery; fleet size when both off)
 };
 
 /// Full training trace plus summary probes.
@@ -58,6 +75,20 @@ class TrainingHistory {
   /// First round after which fewer than `n_users` devices remained alive
   /// (battery extension); nullopt if the fleet never lost a device.
   std::optional<std::size_t> round_of_first_depletion(std::size_t n_users) const;
+
+  /// Per-user count of updates that actually entered the global model
+  /// (failure-aware execution; equals selection_counts when fault-free).
+  std::vector<std::size_t> aggregation_counts(std::size_t n_users) const;
+
+  /// Rounds that missed their quorum and kept the previous global model.
+  std::size_t failed_round_count() const;
+
+  /// Totals over the run (fault-injection probes).
+  std::size_t total_crashes() const;
+  std::size_t total_upload_failures() const;
+  std::size_t total_dropped_late() const;
+  std::size_t total_retries() const;
+  double total_wasted_energy_j() const;
 
   double total_delay_s() const { return rounds_.empty() ? 0.0 : rounds_.back().cum_delay_s; }
   double total_energy_j() const { return rounds_.empty() ? 0.0 : rounds_.back().cum_energy_j; }

@@ -1,9 +1,11 @@
 #include "fl/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <future>
 #include <stdexcept>
+#include <string>
 
 #include "fl/server.h"
 #include "mec/cost_model.h"
@@ -24,12 +26,61 @@ namespace {
 struct ClientOutcome {
   ClientUpdate update;           ///< weights already post-compression
   double compute_delay_s = 0.0;
-  double upload_duration_s = 0.0;
-  double energy_j = 0.0;
+  double upload_duration_s = 0.0;  ///< one TDMA attempt (Eq. 7)
+  double energy_j = 0.0;         ///< all cycles and transmissions, Eqs. (5)+(8)
   std::vector<float> state;      ///< post-training persistent buffers
+  bool trained = false;          ///< local update produced (false = crashed)
+  bool upload_ok = true;         ///< false = every upload attempt failed
+  std::size_t attempts = 0;      ///< transmissions made (0 for crashed clients)
+  bool accepted = false;         ///< update entered FedAvg (set post-TDMA)
+  bool dropped_late = false;     ///< arrived after the straggler cutoff
 };
 
 }  // namespace
+
+void TrainerOptions::validate(std::size_t n_users) const {
+  if (eval_every == 0) {
+    throw std::invalid_argument(
+        "TrainerOptions: eval_every must be >= 1 (it is the modulus of the "
+        "evaluation cadence; use a large value to evaluate rarely)");
+  }
+  if (eval_batch == 0) {
+    throw std::invalid_argument(
+        "TrainerOptions: eval_batch must be >= 1 (0 would make evaluation loop "
+        "forever)");
+  }
+  if (std::isnan(deadline_s) || deadline_s < 0.0) {
+    throw std::invalid_argument(
+        "TrainerOptions: deadline_s = " + std::to_string(deadline_s) +
+        " must be >= 0 (use infinity, the default, for no deadline)");
+  }
+  if (!(model_size_bits > 0.0) || !std::isfinite(model_size_bits)) {
+    throw std::invalid_argument(
+        "TrainerOptions: model_size_bits = " + std::to_string(model_size_bits) +
+        " must be a positive finite payload (Eq. 7 divides by the uplink rate; "
+        "a non-positive size makes delay and energy meaningless)");
+  }
+  if (min_clients == 0) {
+    throw std::invalid_argument(
+        "TrainerOptions: min_clients must be >= 1 (FedAvg over zero survivors "
+        "is undefined; 1 restores the pre-quorum behaviour)");
+  }
+  if (n_users > 0 && min_clients > n_users) {
+    throw std::invalid_argument(
+        "TrainerOptions: min_clients = " + std::to_string(min_clients) +
+        " exceeds the fleet size " + std::to_string(n_users) +
+        "; no round could ever meet its quorum");
+  }
+  if (std::isnan(retry_backoff_s) || retry_backoff_s < 0.0) {
+    throw std::invalid_argument("TrainerOptions: retry_backoff_s must be >= 0");
+  }
+  if (std::isnan(straggler_cutoff_s) || straggler_cutoff_s <= 0.0) {
+    throw std::invalid_argument(
+        "TrainerOptions: straggler_cutoff_s must be positive (use infinity, "
+        "the default, to wait for every upload)");
+  }
+  faults.validate();
+}
 
 FederatedTrainer::FederatedTrainer(nn::Sequential& model, const data::Dataset& train,
                                    const data::Dataset& test,
@@ -44,6 +95,7 @@ FederatedTrainer::FederatedTrainer(nn::Sequential& model, const data::Dataset& t
       channel_(channel),
       strategy_(strategy),
       options_(options) {
+  options_.validate(devices.size());
   if (devices.size() != partition.size()) {
     throw std::invalid_argument("FederatedTrainer: device/partition size mismatch");
   }
@@ -77,6 +129,12 @@ TrainingHistory FederatedTrainer::run() {
   util::Rng batch_rng(options_.seed);
   mec::FadingProcess fading(users_.size(), options_.fading,
                             util::Rng(options_.seed).fork(0xFAD1A6));
+  // Fault streams are forked off the same seed but independent of the
+  // mini-batch streams, so enabling faults never perturbs what a surviving
+  // client trains on.
+  mec::FaultInjector injector(users_.size(), options_.faults,
+                              util::Rng(options_.seed).fork(0xFA0175));
+  const std::size_t max_attempts = 1 + options_.max_upload_retries;
 
   // Parallel round-execution engine (DESIGN.md §7): a fixed worker pool
   // with one model replica per worker.  num_threads <= 1 spawns no workers
@@ -108,13 +166,47 @@ TrainingHistory FederatedTrainer::run() {
       break;
     }
 
-    // Line 4: select users and determine their frequencies.  With the
-    // battery extension the strategy only sees surviving devices; with
-    // fading it ranks users by the (stale) delays of the init phase.
+    // Availability churn advances once per round, before selection.
+    injector.begin_round();
+
+    // Line 4: select users and determine their frequencies.  The strategy
+    // only sees devices that are both charged (battery extension) and
+    // present (churn); with fading it ranks users by the (stale) delays of
+    // the init phase.
     sched::FleetView fleet{users_};
-    if (batteries_enabled) fleet.alive = batteries_.alive_mask();
-    const sched::Decision decision = strategy_.decide(fleet, round);
+    std::vector<std::uint8_t> selectable;  // combined mask storage
+    const std::span<const std::uint8_t> churn_mask = injector.availability();
+    if (batteries_enabled && !churn_mask.empty()) {
+      const std::span<const std::uint8_t> battery_mask = batteries_.alive_mask();
+      selectable.resize(users_.size());
+      for (std::size_t i = 0; i < users_.size(); ++i) {
+        selectable[i] = battery_mask[i] != 0 && churn_mask[i] != 0 ? 1 : 0;
+      }
+      fleet.alive = selectable;
+    } else if (batteries_enabled) {
+      fleet.alive = batteries_.alive_mask();
+    } else if (!churn_mask.empty()) {
+      fleet.alive = churn_mask;
+    }
+    const std::size_t available = fleet.alive_count();
+
+    const sched::Decision decision =
+        available == 0 ? sched::Decision{} : strategy_.decide(fleet, round);
     if (decision.selected.empty()) {
+      if (injector.active() && injector.away_count() > 0) {
+        // Churn emptied the selectable fleet this round; that is transient
+        // (rejoin_rate > 0), so record a failed round and keep going.
+        RoundRecord skipped;
+        skipped.round = round;
+        skipped.quorum_failed = true;
+        skipped.cum_delay_s = cum_delay;
+        skipped.cum_energy_j = cum_energy;
+        skipped.alive_users =
+            batteries_enabled ? batteries_.alive_count() : users_.size();
+        skipped.available_users = available;
+        history.add(std::move(skipped));
+        continue;
+      }
       util::log_info("FederatedTrainer: strategy returned no users; stopping");
       break;
     }
@@ -125,19 +217,22 @@ TrainingHistory FederatedTrainer::run() {
     fading.step();
 
     // Per-client inputs resolved on the coordinator thread, in selection
-    // order: decision sanity checks, this round's fading multipliers, and
-    // the pre-forked RNG stream of each client.  fork() is keyed on
-    // (round, user) alone, so a client's mini-batch draws are the same no
-    // matter when or where its task runs.
+    // order: decision sanity checks, this round's fading multipliers, the
+    // pre-forked RNG stream of each client, and the client's injected
+    // faults.  fork() is keyed on (round, user) alone, so a client's
+    // mini-batch draws and fault outcomes are the same no matter when or
+    // where its task runs.
     const std::size_t cohort = decision.selected.size();
     std::vector<double> fade_multipliers(cohort, 1.0);
     std::vector<util::Rng> client_rngs;
     client_rngs.reserve(cohort);
+    std::vector<mec::ClientFaults> client_faults(cohort);
     for (std::size_t k = 0; k < cohort; ++k) {
       const std::size_t user = decision.selected[k];
       const double f = decision.frequencies_hz[k];
-      if (batteries_enabled && !batteries_.is_alive(user)) {
-        throw std::logic_error("FederatedTrainer: strategy selected a dead device");
+      if (!fleet.is_alive(user)) {
+        throw std::logic_error(
+            "FederatedTrainer: strategy selected an unavailable device");
       }
       const mec::Device& device = devices_[user];
       if (f < device.f_min_hz - 1e-6 || f > device.f_max_hz + 1e-6) {
@@ -145,6 +240,9 @@ TrainingHistory FederatedTrainer::run() {
       }
       fade_multipliers[k] = fading.multiplier(user);
       client_rngs.push_back(batch_rng.fork(round * users_.size() + user));
+      if (injector.active()) {
+        client_faults[k] = injector.draw(round, user, max_attempts);
+      }
     }
 
     const std::vector<float> round_state =
@@ -157,6 +255,21 @@ TrainingHistory FederatedTrainer::run() {
     auto run_client = [&](std::size_t k) {
       const std::size_t user = decision.selected[k];
       const double f = decision.frequencies_hz[k];
+      const mec::ClientFaults faults = client_faults[k];
+      const mec::Device& device = devices_[user];
+
+      if (faults.crashed) {
+        // The local update died faults.crash_fraction of the way through:
+        // the cycles burned still cost Eq.-(5) energy (pure waste), but
+        // nothing ever reaches the uplink.
+        ClientOutcome outcome;
+        outcome.compute_delay_s =
+            mec::compute_delay_s(device, f) * faults.slowdown * faults.crash_fraction;
+        outcome.energy_j = mec::compute_energy_j(device, f) * faults.crash_fraction;
+        outcomes[k] = std::move(outcome);
+        return;
+      }
+
       const std::size_t worker = util::ThreadPool::worker_index();
       nn::Sequential& model =
           worker == util::ThreadPool::npos ? model_ : *replicas[worker];
@@ -164,6 +277,7 @@ TrainingHistory FederatedTrainer::run() {
 
       util::Rng client_rng = client_rngs[k];
       ClientOutcome outcome;
+      outcome.trained = true;
       outcome.update = local_update(model, global_weights, user_data_[user],
                                     options_.client, client_rng);
 
@@ -182,14 +296,19 @@ TrainingHistory FederatedTrainer::run() {
 
       // Fading perturbs this round's actual channel gain; strategies only
       // knew the init-time value.
-      const mec::Device& device = devices_[user];
       mec::Device faded = device;
       faded.channel_gain_sq *= fade_multipliers[k];
 
-      outcome.compute_delay_s = mec::compute_delay_s(device, f);
+      // A transient straggler stretches the Eq.-(4) delay (same cycles,
+      // externally stalled) without changing the Eq.-(5) energy.  Every
+      // upload attempt — failed or not — costs full Eq. (7)/(8).
+      outcome.compute_delay_s = mec::compute_delay_s(device, f) * faults.slowdown;
       outcome.upload_duration_s = mec::upload_delay_s(faded, channel_, wire_bits);
+      outcome.attempts = faults.attempts();
+      outcome.upload_ok = faults.upload_ok;
       outcome.energy_j = mec::compute_energy_j(device, f) +
-                         mec::upload_energy_j(faded, channel_, wire_bits);
+                         static_cast<double>(outcome.attempts) *
+                             mec::upload_energy_j(faded, channel_, wire_bits);
       if (has_state) outcome.state = nn::extract_state(model);
       outcomes[k] = std::move(outcome);
     };
@@ -203,46 +322,143 @@ TrainingHistory FederatedTrainer::run() {
         futures.push_back(pool.submit([&run_client, k] { run_client(k); }));
       }
       // Join every task before letting any exception escape: the tasks
-      // reference this frame's state.  The first failure in selection
-      // order wins, mirroring where the sequential loop would have thrown.
-      std::exception_ptr first_error;
-      for (auto& future : futures) {
+      // reference this frame's state.  Failures are collected across the
+      // whole cohort and rethrown as one aggregate error naming every
+      // failed client, so a multi-client breakage is diagnosable from a
+      // single message.
+      std::string failures;
+      std::size_t failure_count = 0;
+      for (std::size_t k = 0; k < futures.size(); ++k) {
         try {
-          future.get();
+          futures[k].get();
+        } catch (const std::exception& error) {
+          ++failure_count;
+          if (!failures.empty()) failures += "; ";
+          failures += "client " + std::to_string(k) + " (user " +
+                      std::to_string(decision.selected[k]) + "): " + error.what();
         } catch (...) {
-          if (!first_error) first_error = std::current_exception();
+          ++failure_count;
+          if (!failures.empty()) failures += "; ";
+          failures += "client " + std::to_string(k) + " (user " +
+                      std::to_string(decision.selected[k]) + "): unknown exception";
         }
       }
-      if (first_error) std::rethrow_exception(first_error);
+      if (failure_count > 0) {
+        throw std::runtime_error(
+            "FederatedTrainer: " + std::to_string(failure_count) +
+            " client task(s) failed in round " + std::to_string(round) + ": " +
+            failures);
+      }
     }
 
-    // Ordered reduction (selection order), identical to the sequential loop.
-    std::vector<double> compute_delays;
-    std::vector<double> upload_durations;
-    std::vector<double> user_energies;
-    std::vector<double> client_losses;
-    double round_energy = 0.0;
-    double train_loss_sum = 0.0;
-    for (const ClientOutcome& outcome : outcomes) {
-      train_loss_sum += outcome.update.train_loss;
-      client_losses.push_back(outcome.update.train_loss);
-      compute_delays.push_back(outcome.compute_delay_s);
-      upload_durations.push_back(outcome.upload_duration_s);
-      user_energies.push_back(outcome.energy_j);
-      round_energy += outcome.energy_j;
+    // TDMA serialization over the clients that actually transmit (crashed
+    // clients never reach the uplink).  A failed attempt occupies the
+    // channel exactly like a successful one; each retry adds a backoff gap
+    // before re-occupying the uplink for another full Eq.-(7) duration.
+    std::vector<std::size_t> transmitting;  // cohort indices, selection order
+    std::vector<double> tx_compute_delays;
+    std::vector<double> tx_occupancies;
+    for (std::size_t k = 0; k < cohort; ++k) {
+      if (!outcomes[k].trained) continue;
+      transmitting.push_back(k);
+      tx_compute_delays.push_back(outcomes[k].compute_delay_s);
+      const double occupancy =
+          outcomes[k].attempts <= 1
+              ? outcomes[k].upload_duration_s
+              : static_cast<double>(outcomes[k].attempts) *
+                        outcomes[k].upload_duration_s +
+                    static_cast<double>(outcomes[k].attempts - 1) *
+                        options_.retry_backoff_s;
+      tx_occupancies.push_back(occupancy);
     }
     const mec::TdmaSchedule schedule =
-        mec::schedule_uploads(compute_delays, upload_durations);
+        mec::schedule_uploads(tx_compute_delays, tx_occupancies);
 
-    // Line 10: FedAvg integration (Eq. 18).
-    std::vector<WeightedModel> uploads;
-    uploads.reserve(outcomes.size());
-    for (const ClientOutcome& outcome : outcomes) {
-      uploads.push_back({outcome.update.weights, outcome.update.num_samples});
+    // Straggler cutoff: the server closes the round at the cutoff or when
+    // the last upload lands, whichever is earlier; updates completing after
+    // the cutoff are discarded.
+    const double cutoff = options_.straggler_cutoff_s;
+    for (const mec::UploadSlot& slot : schedule.slots) {
+      ClientOutcome& outcome = outcomes[transmitting[slot.index]];
+      if (!outcome.upload_ok) continue;
+      if (slot.upload_end <= cutoff) {
+        outcome.accepted = true;
+      } else {
+        outcome.dropped_late = true;
+      }
     }
-    global_weights = fedavg(uploads);
-    strategy_.observe(round, decision, client_losses);
-    if (has_state) nn::load_state(model_, outcomes.back().state);
+    const double round_delay = std::min(schedule.round_delay_s, cutoff);
+
+    // Ordered reduction (selection order), identical to the sequential loop.
+    std::vector<double> user_energies;
+    std::vector<double> client_losses;
+    std::vector<std::size_t> survivors;  // cohort indices, selection order
+    double round_energy = 0.0;
+    double train_loss_sum = 0.0;
+    std::size_t trained_count = 0;
+    std::size_t crashed_count = 0;
+    std::size_t upload_failure_count = 0;
+    std::size_t dropped_late_count = 0;
+    std::size_t retry_count = 0;
+    double wasted_energy = 0.0;
+    for (std::size_t k = 0; k < cohort; ++k) {
+      const ClientOutcome& outcome = outcomes[k];
+      if (outcome.trained) {
+        train_loss_sum += outcome.update.train_loss;
+        ++trained_count;
+        retry_count += outcome.attempts > 0 ? outcome.attempts - 1 : 0;
+        if (!outcome.upload_ok) ++upload_failure_count;
+        if (outcome.dropped_late) ++dropped_late_count;
+        if (outcome.accepted) survivors.push_back(k);
+      } else {
+        ++crashed_count;
+      }
+      user_energies.push_back(outcome.energy_j);
+      round_energy += outcome.energy_j;
+      if (!outcome.accepted) wasted_energy += outcome.energy_j;
+    }
+
+    // Quorum rule: with fewer than min_clients surviving updates the FLCC
+    // keeps the previous global model — a failed round costs its delay and
+    // energy but moves no weights and feeds no strategy statistics.
+    const bool quorum_met = survivors.size() >= options_.min_clients;
+    if (quorum_met) {
+      // Line 10: FedAvg integration (Eq. 18) — denominators are the
+      // survivors' sample counts only.
+      std::vector<WeightedModel> uploads;
+      uploads.reserve(survivors.size());
+      for (const std::size_t k : survivors) {
+        uploads.push_back({outcomes[k].update.weights, outcomes[k].update.num_samples});
+      }
+      global_weights = fedavg(uploads);
+      for (const std::size_t k : survivors) {
+        client_losses.push_back(outcomes[k].update.train_loss);
+      }
+      if (survivors.size() == cohort) {
+        strategy_.observe(round, decision, client_losses);
+      } else {
+        sched::Decision survivor_decision;
+        survivor_decision.selected.reserve(survivors.size());
+        survivor_decision.frequencies_hz.reserve(survivors.size());
+        for (const std::size_t k : survivors) {
+          survivor_decision.selected.push_back(decision.selected[k]);
+          survivor_decision.frequencies_hz.push_back(decision.frequencies_hz[k]);
+        }
+        strategy_.observe(round, survivor_decision, client_losses);
+      }
+      if (has_state) nn::load_state(model_, outcomes[survivors.back()].state);
+    } else {
+      wasted_energy = round_energy;  // nothing entered the model
+    }
+
+    // Completion feedback: selection-time strategy state (α_q counters,
+    // FedCS's deadline set, Oort's reliability view) must only count
+    // clients whose data actually entered the model.
+    std::vector<std::uint8_t> completed(cohort, 0);
+    if (quorum_met) {
+      for (const std::size_t k : survivors) completed[k] = 1;
+    }
+    strategy_.report_completion(round, decision, completed);
 
     if (batteries_enabled) {
       for (std::size_t k = 0; k < cohort; ++k) {
@@ -250,19 +466,34 @@ TrainingHistory FederatedTrainer::run() {
       }
     }
 
-    cum_delay += schedule.round_delay_s;
+    cum_delay += round_delay;
     cum_energy += round_energy;
 
     RoundRecord record;
     record.round = round;
     record.selected = decision.selected;
-    record.round_delay_s = schedule.round_delay_s;
+    record.round_delay_s = round_delay;
     record.round_energy_j = round_energy;
     record.cum_delay_s = cum_delay;
     record.cum_energy_j = cum_energy;
-    record.train_loss = train_loss_sum / static_cast<double>(outcomes.size());
+    record.train_loss =
+        trained_count > 0 ? train_loss_sum / static_cast<double>(trained_count) : 0.0;
     record.alive_users =
         batteries_enabled ? batteries_.alive_count() : users_.size();
+    record.available_users = available;
+    if (quorum_met) {
+      record.aggregated.reserve(survivors.size());
+      for (const std::size_t k : survivors) {
+        record.aggregated.push_back(decision.selected[k]);
+      }
+    }
+    record.survivors = record.aggregated.size();
+    record.crashed = crashed_count;
+    record.upload_failures = upload_failure_count;
+    record.dropped_late = dropped_late_count;
+    record.retries = retry_count;
+    record.quorum_failed = !quorum_met;
+    record.wasted_energy_j = wasted_energy;
 
     const bool last_round = round + 1 == options_.max_rounds;
     const bool over_deadline = cum_delay > options_.deadline_s;

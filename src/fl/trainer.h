@@ -20,6 +20,7 @@
 #include "mec/channel.h"
 #include "mec/device.h"
 #include "mec/fading.h"
+#include "mec/faults.h"
 #include "nn/compression.h"
 #include "nn/sequential.h"
 #include "sched/scheduler.h"
@@ -64,6 +65,29 @@ struct TrainerOptions {
   /// Lossy upload compression: shrinks the wire size entering Eq. (7) and
   /// feeds the *reconstructed* weights into FedAvg.
   nn::CompressionOptions compression;
+
+  // --- failure-aware execution (DESIGN.md §8); all off by default ---
+  /// Injected client crashes, upload losses, transient stragglers, and
+  /// availability churn.  Faults are drawn from streams forked per
+  /// (round, user), so traces stay bitwise identical across thread counts.
+  mec::FaultOptions faults;
+  /// Quorum for FedAvg: a round whose surviving update count falls below
+  /// this keeps the previous global model and is recorded as failed.
+  std::size_t min_clients = 1;
+  /// Upload retries allowed after a failed attempt.  Each retry re-occupies
+  /// the TDMA uplink for another full Eq.-(7) duration (after
+  /// `retry_backoff_s` of radio silence) and costs Eq.-(8) energy again.
+  std::size_t max_upload_retries = 0;
+  double retry_backoff_s = 0.0;
+  /// Straggler cutoff: the server closes the round at this time; updates
+  /// whose TDMA upload completes later are discarded (their energy is
+  /// wasted).  infinity = wait for every upload.
+  double straggler_cutoff_s = std::numeric_limits<double>::infinity();
+
+  /// Validates every field against `n_users` devices; throws
+  /// std::invalid_argument with an actionable message on the first
+  /// inconsistency (called by the trainer at construction).
+  void validate(std::size_t n_users) const;
 };
 
 /// Synchronous FL trainer over a simulated MEC fleet.

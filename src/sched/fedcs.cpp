@@ -1,6 +1,7 @@
 #include "sched/fedcs.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -31,11 +32,19 @@ double estimate_round_time(const FleetView& fleet,
 
 Decision FedCsSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
   // Candidates in ascending order of standalone delay — the "short training
-  // delay first" greedy of the paper.
+  // delay first" greedy of the paper.  Failure-aware ranking: a consecutive
+  // miss doubles a candidate's effective delay, so unreliable clients sink
+  // behind deliverers without ever being excluded outright (a recovered
+  // client clears its streak on the next completed round).
+  const auto ranking_delay = [&](std::size_t i) {
+    const double streak_penalty =
+        static_cast<double>(std::uint64_t{1} << std::min<std::size_t>(failure_streak(i), 32));
+    return fleet.users[i].total_delay_max_s() * streak_penalty;
+  };
   std::vector<std::size_t> order(fleet.users.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return fleet.users[a].total_delay_max_s() < fleet.users[b].total_delay_max_s();
+    return ranking_delay(a) < ranking_delay(b);
   });
 
   const std::size_t cap = max_fraction_ > 0.0
@@ -69,6 +78,19 @@ Decision FedCsSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
     decision.frequencies_hz.push_back(fleet.users[i].device.f_max_hz);
   }
   return decision;
+}
+
+void FedCsSelection::report_completion(std::size_t /*round*/,
+                                       const Decision& decision,
+                                       std::span<const std::uint8_t> completed) {
+  if (decision.selected.size() != completed.size()) {
+    throw std::invalid_argument("FedCsSelection::report_completion: size mismatch");
+  }
+  for (std::size_t k = 0; k < decision.selected.size(); ++k) {
+    const std::size_t user = decision.selected[k];
+    if (user >= failure_streaks_.size()) failure_streaks_.resize(user + 1, 0);
+    failure_streaks_[user] = completed[k] != 0 ? 0 : failure_streaks_[user] + 1;
+  }
 }
 
 }  // namespace helcfl::sched

@@ -8,6 +8,8 @@
 // the deadline.  All admitted users run at maximum frequency.
 #pragma once
 
+#include <vector>
+
 #include "sched/scheduler.h"
 
 namespace helcfl::sched {
@@ -21,14 +23,28 @@ class FedCsSelection : public SelectionStrategy {
   explicit FedCsSelection(double deadline_s, double max_fraction = 0.0);
 
   Decision decide(const FleetView& fleet, std::size_t round) override;
-  void reset() override {}
+  /// Failure-aware deadline set: FedCS admits by estimated delay, so a
+  /// client that keeps missing the round (crash, lost upload, straggling
+  /// past the cutoff) has a stale estimate.  Each consecutive failure
+  /// inflates the client's ranking delay (doubling per miss), pushing it
+  /// behind candidates that actually deliver; a completed round clears the
+  /// streak.  With no failures every streak is 0 and decide() is unchanged.
+  void report_completion(std::size_t round, const Decision& decision,
+                         std::span<const std::uint8_t> completed) override;
+  void reset() override { failure_streaks_.clear(); }
   std::string name() const override { return "FedCS"; }
 
   double deadline_s() const { return deadline_s_; }
 
+  /// Consecutive missed rounds of `user` (0 = last participation worked).
+  std::size_t failure_streak(std::size_t user) const {
+    return user < failure_streaks_.size() ? failure_streaks_[user] : 0;
+  }
+
  private:
   double deadline_s_;
   double max_fraction_;
+  std::vector<std::size_t> failure_streaks_;
 };
 
 /// Estimated TDMA round time if exactly `members` participate at f_max:

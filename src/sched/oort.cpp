@@ -63,7 +63,7 @@ Decision OortSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
     const double t = fleet.users[i].total_delay_max_s();
     const double system =
         t <= resolved_t_pref_ ? 1.0 : std::pow(resolved_t_pref_ / t, options_.alpha);
-    utilities[i] = stat * system;
+    utilities[i] = stat * system * reliability_multiplier(i);
   }
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return utilities[a] > utilities[b];
@@ -102,11 +102,31 @@ void OortSelection::observe(std::size_t /*round*/, const Decision& decision,
   }
 }
 
+double OortSelection::reliability_multiplier(std::size_t user) const {
+  const std::size_t misses =
+      user < failure_streaks_.size() ? std::min<std::size_t>(failure_streaks_[user], 60)
+                                     : 0;
+  return misses == 0 ? 1.0 : std::ldexp(1.0, -static_cast<int>(misses));
+}
+
+void OortSelection::report_completion(std::size_t /*round*/, const Decision& decision,
+                                      std::span<const std::uint8_t> completed) {
+  if (decision.selected.size() != completed.size()) {
+    throw std::invalid_argument("OortSelection::report_completion: size mismatch");
+  }
+  for (std::size_t k = 0; k < decision.selected.size(); ++k) {
+    const std::size_t user = decision.selected[k];
+    if (user >= failure_streaks_.size()) failure_streaks_.resize(user + 1, 0);
+    failure_streaks_[user] = completed[k] != 0 ? 0 : failure_streaks_[user] + 1;
+  }
+}
+
 void OortSelection::reset() {
   rng_ = initial_rng_;
   resolved_t_pref_ = 0.0;
   last_loss_.clear();
   explored_.clear();
+  failure_streaks_.clear();
   max_seen_loss_ = 1.0;
 }
 

@@ -39,11 +39,22 @@ class OortSelection : public SelectionStrategy {
   Decision decide(const FleetView& fleet, std::size_t round) override;
   void observe(std::size_t round, const Decision& decision,
                std::span<const double> client_losses) override;
+  /// Reliability feedback: the trainer filters observe() down to clients
+  /// whose updates entered the model, so a crashed client stays unexplored
+  /// (optimism prior intact).  Here each consecutive miss additionally
+  /// halves the client's utility — real Oort's blacklist, softened — and a
+  /// completed round clears the penalty.
+  void report_completion(std::size_t round, const Decision& decision,
+                         std::span<const std::uint8_t> completed) override;
   void reset() override;
   std::string name() const override { return "Oort"; }
 
   /// The statistical utility the strategy currently assigns to `user`.
   double statistical_utility(std::size_t user) const;
+
+  /// Multiplier in (0, 1] applied to `user`'s total utility: 2^-misses for
+  /// `misses` consecutive failed participations.
+  double reliability_multiplier(std::size_t user) const;
 
  private:
   OortOptions options_;
@@ -52,6 +63,7 @@ class OortSelection : public SelectionStrategy {
   double resolved_t_pref_ = 0.0;
   std::vector<double> last_loss_;   ///< most recent observed loss per user
   std::vector<bool> explored_;      ///< has the user ever been selected
+  std::vector<std::size_t> failure_streaks_;  ///< consecutive missed rounds
   double max_seen_loss_ = 1.0;      ///< optimism prior for unexplored users
 };
 

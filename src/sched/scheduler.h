@@ -74,15 +74,32 @@ class SelectionStrategy {
   /// Chooses the users and frequencies for round `round` (0-based).
   virtual Decision decide(const FleetView& fleet, std::size_t round) = 0;
 
-  /// Training feedback delivered after each round: the pre-update local
-  /// training loss of every user in `decision.selected` (index-aligned).
-  /// Loss-aware strategies (e.g. Oort-like selection) use this; the
-  /// default implementation ignores it.
+  /// Training feedback delivered after each round.  With failure-aware
+  /// execution the trainer filters this down to the clients whose updates
+  /// actually entered the global model, so loss-aware strategies (e.g.
+  /// Oort-like selection) never learn from losses the server discarded;
+  /// `decision` then holds only those survivors.  The default
+  /// implementation ignores it.
   virtual void observe(std::size_t round, const Decision& decision,
                        std::span<const double> client_losses) {
     (void)round;
     (void)decision;
     (void)client_losses;
+  }
+
+  /// Completion feedback delivered after each round: `completed[k]` is 1
+  /// iff the update of `decision.selected[k]` entered the global model
+  /// (trained, uploaded within the retry budget, arrived before the
+  /// straggler cutoff, and the round met its quorum).  Strategies whose
+  /// state assumes participation (HELCFL's α_q appearance counters, FedCS's
+  /// deadline set, Oort's reliability view) correct themselves here; the
+  /// default implementation ignores it.  Called every round, after
+  /// observe(); with faults disabled the mask is all-ones.
+  virtual void report_completion(std::size_t round, const Decision& decision,
+                                 std::span<const std::uint8_t> completed) {
+    (void)round;
+    (void)decision;
+    (void)completed;
   }
 
   /// Restores construction-time state (counters, RNG stream).

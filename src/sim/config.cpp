@@ -1,6 +1,9 @@
 #include "sim/config.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "sched/scheduler.h"
 
 namespace helcfl::sim {
 
@@ -54,6 +57,16 @@ void ExperimentConfig::validate() const {
   }
   if (trainer.max_rounds == 0) throw std::invalid_argument("config: max_rounds == 0");
   if (fedl_kappa <= 0.0) throw std::invalid_argument("config: fedl_kappa <= 0");
+  trainer.validate(n_users);
+  // A quorum larger than the per-round cohort ⌈Q·C⌉ could never be met even
+  // when every selected client survives.
+  const std::size_t cohort = sched::selection_count(n_users, fraction);
+  if (trainer.min_clients > cohort) {
+    throw std::invalid_argument(
+        "config: trainer.min_clients = " + std::to_string(trainer.min_clients) +
+        " exceeds the per-round cohort size " + std::to_string(cohort) +
+        " (= max(Q*C, 1)); every round would fail its quorum");
+  }
 }
 
 ExperimentConfig paper_config() {

@@ -32,11 +32,19 @@ std::string format_percent(double fraction) { return fixed2(fraction * 100.0, "%
 
 void write_history_csv(const std::string& path, const fl::TrainingHistory& history) {
   util::CsvWriter csv(path, {"round", "cum_delay_s", "cum_energy_j", "train_loss",
+                             "survivors", "crashed", "upload_failures", "dropped_late",
+                             "retries", "quorum_failed", "wasted_energy_j",
                              "test_loss", "test_accuracy"});
   for (const auto& r : history.rounds()) {
     csv.write_row({util::CsvWriter::field(r.round), util::CsvWriter::field(r.cum_delay_s),
                    util::CsvWriter::field(r.cum_energy_j),
                    util::CsvWriter::field(r.train_loss),
+                   util::CsvWriter::field(r.survivors), util::CsvWriter::field(r.crashed),
+                   util::CsvWriter::field(r.upload_failures),
+                   util::CsvWriter::field(r.dropped_late),
+                   util::CsvWriter::field(r.retries),
+                   util::CsvWriter::field(r.quorum_failed ? 1 : 0),
+                   util::CsvWriter::field(r.wasted_energy_j),
                    r.evaluated ? util::CsvWriter::field(r.test_loss) : "",
                    r.evaluated ? util::CsvWriter::field(r.test_accuracy) : ""});
   }

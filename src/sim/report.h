@@ -24,8 +24,10 @@ std::string format_joules_or_x(const std::optional<double>& joules);
 std::string format_percent(double fraction);
 
 /// Writes one history to CSV with the columns
-/// round,cum_delay_s,cum_energy_j,train_loss,test_loss,test_accuracy
-/// (test columns empty on rounds without evaluation).
+/// round,cum_delay_s,cum_energy_j,train_loss,survivors,crashed,
+/// upload_failures,dropped_late,retries,quorum_failed,wasted_energy_j,
+/// test_loss,test_accuracy (test columns empty on rounds without
+/// evaluation; the failure columns are all zero when faults are disabled).
 void write_history_csv(const std::string& path, const fl::TrainingHistory& history);
 
 /// Prints a fixed-width table row set: the accuracy of each scheme at

@@ -1,0 +1,236 @@
+// Unit tests of the fault-injection subsystem (DESIGN.md §8): option
+// validation, the per-(round, user) determinism contract, and the
+// statistical behaviour of each fault mode.
+#include "mec/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace helcfl::mec {
+namespace {
+
+FaultOptions enabled_options() {
+  FaultOptions options;
+  options.enabled = true;
+  return options;
+}
+
+// --- option validation -----------------------------------------------------
+
+TEST(FaultOptions, DefaultIsValidAndInert) {
+  FaultOptions options;
+  EXPECT_NO_THROW(options.validate());
+  EXPECT_FALSE(options.enabled);
+  EXPECT_FALSE(options.any_fault_possible());
+}
+
+TEST(FaultOptions, RejectsOutOfRangeRates) {
+  for (auto setter : {+[](FaultOptions& o, double v) { o.crash_rate = v; },
+                      +[](FaultOptions& o, double v) { o.upload_failure_rate = v; },
+                      +[](FaultOptions& o, double v) { o.straggler_rate = v; },
+                      +[](FaultOptions& o, double v) { o.leave_rate = v; },
+                      +[](FaultOptions& o, double v) { o.rejoin_rate = v; }}) {
+    FaultOptions options;
+    setter(options, -0.1);
+    EXPECT_THROW(options.validate(), std::invalid_argument);
+    setter(options, 1.1);
+    EXPECT_THROW(options.validate(), std::invalid_argument);
+    setter(options, 0.5);
+    EXPECT_NO_THROW(options.validate());
+  }
+}
+
+TEST(FaultOptions, RejectsBadSlowdown) {
+  FaultOptions options;
+  options.straggler_slowdown = 0.5;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.straggler_slowdown = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.straggler_slowdown = 1.0;  // exactly no slowdown is allowed
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(FaultOptions, RejectsChurnWithoutRejoin) {
+  FaultOptions options;
+  options.leave_rate = 0.1;
+  options.rejoin_rate = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.rejoin_rate = 0.2;
+  EXPECT_NO_THROW(options.validate());
+}
+
+// --- inactive injector -----------------------------------------------------
+
+TEST(FaultInjector, DisabledInjectorIsStrictNoOp) {
+  FaultOptions options;  // enabled = false even with hot rates
+  options.crash_rate = 1.0;
+  options.upload_failure_rate = 1.0;
+  options.leave_rate = 1.0;
+  FaultInjector injector(8, options, util::Rng(1));
+  EXPECT_FALSE(injector.active());
+  injector.begin_round();
+  EXPECT_TRUE(injector.availability().empty());
+  EXPECT_EQ(injector.away_count(), 0u);
+  const ClientFaults faults = injector.draw(0, 3, 1);
+  EXPECT_FALSE(faults.crashed);
+  EXPECT_TRUE(faults.upload_ok);
+  EXPECT_EQ(faults.slowdown, 1.0);
+  EXPECT_EQ(faults.attempts(), 1u);
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(FaultInjector, DrawIsDeterministicPerRoundAndUser) {
+  FaultOptions options = enabled_options();
+  options.crash_rate = 0.3;
+  options.straggler_rate = 0.4;
+  options.upload_failure_rate = 0.3;
+  const FaultInjector a(16, options, util::Rng(7));
+  const FaultInjector b(16, options, util::Rng(7));
+
+  for (std::size_t round = 0; round < 5; ++round) {
+    // Draw in opposite user orders: outcomes must not depend on call order.
+    for (std::size_t user = 0; user < 16; ++user) {
+      const ClientFaults fa = a.draw(round, user, 3);
+      const ClientFaults fb = b.draw(round, 15 - user, 3);
+      const ClientFaults fb_same = b.draw(round, user, 3);
+      (void)fb;
+      EXPECT_EQ(fa.crashed, fb_same.crashed);
+      EXPECT_EQ(fa.crash_fraction, fb_same.crash_fraction);
+      EXPECT_EQ(fa.slowdown, fb_same.slowdown);
+      EXPECT_EQ(fa.failed_attempts, fb_same.failed_attempts);
+      EXPECT_EQ(fa.upload_ok, fb_same.upload_ok);
+    }
+  }
+}
+
+TEST(FaultInjector, DifferentRoundsGiveDifferentDraws) {
+  FaultOptions options = enabled_options();
+  options.crash_rate = 0.5;
+  options.straggler_rate = 0.5;
+  const FaultInjector injector(4, options, util::Rng(9));
+  bool any_difference = false;
+  for (std::size_t round = 1; round < 50 && !any_difference; ++round) {
+    const ClientFaults now = injector.draw(round, 2, 1);
+    const ClientFaults before = injector.draw(round - 1, 2, 1);
+    any_difference = now.crashed != before.crashed || now.slowdown != before.slowdown;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjector, DrawRejectsZeroAttempts) {
+  const FaultInjector injector(4, enabled_options(), util::Rng(1));
+  EXPECT_THROW(injector.draw(0, 0, 0), std::invalid_argument);
+}
+
+// --- fault modes -----------------------------------------------------------
+
+TEST(FaultInjector, CertainCrashAlwaysCrashes) {
+  FaultOptions options = enabled_options();
+  options.crash_rate = 1.0;
+  const FaultInjector injector(8, options, util::Rng(11));
+  for (std::size_t user = 0; user < 8; ++user) {
+    const ClientFaults faults = injector.draw(0, user, 2);
+    EXPECT_TRUE(faults.crashed);
+    EXPECT_GE(faults.crash_fraction, 0.0);
+    EXPECT_LT(faults.crash_fraction, 1.0);
+    // A crashed client never transmits, so upload draws are skipped.
+    EXPECT_EQ(faults.failed_attempts, 0u);
+  }
+}
+
+TEST(FaultInjector, UploadAttemptsAreBoundedByBudget) {
+  FaultOptions options = enabled_options();
+  options.upload_failure_rate = 0.9;
+  const FaultInjector injector(32, options, util::Rng(13));
+  constexpr std::size_t kMaxAttempts = 3;
+  bool saw_give_up = false;
+  bool saw_success = false;
+  for (std::size_t round = 0; round < 20; ++round) {
+    for (std::size_t user = 0; user < 32; ++user) {
+      const ClientFaults faults = injector.draw(round, user, kMaxAttempts);
+      EXPECT_LE(faults.failed_attempts, kMaxAttempts);
+      EXPECT_LE(faults.attempts(), kMaxAttempts);
+      EXPECT_EQ(faults.upload_ok, faults.failed_attempts < kMaxAttempts);
+      saw_give_up = saw_give_up || !faults.upload_ok;
+      saw_success = saw_success || faults.upload_ok;
+    }
+  }
+  EXPECT_TRUE(saw_give_up);
+  EXPECT_TRUE(saw_success);
+}
+
+TEST(FaultInjector, SlowdownStaysInConfiguredRange) {
+  FaultOptions options = enabled_options();
+  options.straggler_rate = 1.0;
+  options.straggler_slowdown = 3.0;
+  const FaultInjector injector(16, options, util::Rng(17));
+  for (std::size_t user = 0; user < 16; ++user) {
+    const ClientFaults faults = injector.draw(0, user, 1);
+    EXPECT_GE(faults.slowdown, 1.0);
+    EXPECT_LE(faults.slowdown, 3.0);
+  }
+}
+
+TEST(FaultInjector, RatesRoughlyMatchFrequencies) {
+  FaultOptions options = enabled_options();
+  options.crash_rate = 0.25;
+  const FaultInjector injector(100, options, util::Rng(19));
+  std::size_t crashes = 0;
+  constexpr std::size_t kRounds = 40;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    for (std::size_t user = 0; user < 100; ++user) {
+      crashes += injector.draw(round, user, 1).crashed ? 1 : 0;
+    }
+  }
+  const double observed =
+      static_cast<double>(crashes) / static_cast<double>(kRounds * 100);
+  EXPECT_NEAR(observed, 0.25, 0.03);
+}
+
+// --- churn -----------------------------------------------------------------
+
+TEST(FaultInjector, ChurnRemovesAndReturnsDevices) {
+  FaultOptions options = enabled_options();
+  options.leave_rate = 0.3;
+  options.rejoin_rate = 0.5;
+  FaultInjector injector(50, options, util::Rng(23));
+  EXPECT_EQ(injector.away_count(), 0u);  // everyone starts present
+
+  bool saw_departure = false;
+  bool saw_return = false;
+  std::vector<std::uint8_t> previous(injector.availability().begin(),
+                                     injector.availability().end());
+  for (std::size_t round = 0; round < 30; ++round) {
+    injector.begin_round();
+    const auto mask = injector.availability();
+    ASSERT_EQ(mask.size(), 50u);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (previous[i] != 0 && mask[i] == 0) saw_departure = true;
+      if (previous[i] == 0 && mask[i] != 0) saw_return = true;
+    }
+    previous.assign(mask.begin(), mask.end());
+  }
+  EXPECT_TRUE(saw_departure);
+  EXPECT_TRUE(saw_return);
+}
+
+TEST(FaultInjector, ChurnIsDeterministicGivenSeed) {
+  FaultOptions options = enabled_options();
+  options.leave_rate = 0.4;
+  options.rejoin_rate = 0.4;
+  FaultInjector a(20, options, util::Rng(29));
+  FaultInjector b(20, options, util::Rng(29));
+  for (std::size_t round = 0; round < 10; ++round) {
+    a.begin_round();
+    b.begin_round();
+    const auto ma = a.availability();
+    const auto mb = b.availability();
+    EXPECT_TRUE(std::equal(ma.begin(), ma.end(), mb.begin(), mb.end()))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace helcfl::mec

@@ -89,6 +89,15 @@ class ParallelTrainerTest : public ::testing::Test {
       EXPECT_EQ(ra.test_loss, rb.test_loss) << "round " << i;
       EXPECT_EQ(ra.test_accuracy, rb.test_accuracy) << "round " << i;
       EXPECT_EQ(ra.alive_users, rb.alive_users) << "round " << i;
+      EXPECT_EQ(ra.aggregated, rb.aggregated) << "round " << i;
+      EXPECT_EQ(ra.survivors, rb.survivors) << "round " << i;
+      EXPECT_EQ(ra.crashed, rb.crashed) << "round " << i;
+      EXPECT_EQ(ra.upload_failures, rb.upload_failures) << "round " << i;
+      EXPECT_EQ(ra.dropped_late, rb.dropped_late) << "round " << i;
+      EXPECT_EQ(ra.retries, rb.retries) << "round " << i;
+      EXPECT_EQ(ra.quorum_failed, rb.quorum_failed) << "round " << i;
+      EXPECT_EQ(ra.wasted_energy_j, rb.wasted_energy_j) << "round " << i;
+      EXPECT_EQ(ra.available_users, rb.available_users) << "round " << i;
     }
   }
 

@@ -72,7 +72,10 @@ TEST(Report, WriteHistoryCsvRoundTrips) {
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "round,cum_delay_s,cum_energy_j,train_loss,test_loss,test_accuracy");
+  EXPECT_EQ(line,
+            "round,cum_delay_s,cum_energy_j,train_loss,survivors,crashed,"
+            "upload_failures,dropped_late,retries,quorum_failed,wasted_energy_j,"
+            "test_loss,test_accuracy");
   std::size_t rows = 0;
   std::size_t rows_with_eval = 0;
   while (std::getline(in, line)) {

@@ -252,6 +252,52 @@ TEST_F(TrainerExtensionTest, ActiveTrainingEventuallyConverges) {
   EXPECT_GT(history.size(), 20u);    // but not immediately
 }
 
+// --- batteries + injected faults (DESIGN.md §8) -----------------------------
+
+TEST_F(TrainerExtensionTest, BatteryDepletionUnderCrashesStaysConsistent) {
+  // Batteries and injected crashes interact: crashed clients still drain
+  // their (partial) compute energy, devices deplete mid-run, and the
+  // availability the strategy sees is the AND of both masks.  The invariants:
+  // the alive count never rises, every joule is accounted for, and HELCFL's
+  // α_q counters agree exactly with the aggregated-update counts.
+  TrainerOptions options = base_options();
+  options.max_rounds = 300;
+  options.battery_capacity_j = 0.8;
+  options.faults.enabled = true;
+  options.faults.crash_rate = 0.3;
+  options.faults.straggler_rate = 0.2;
+  options.min_clients = 1;
+
+  core::HelcflScheduler scheduler({.fraction = 0.3, .eta = 0.9, .enable_dvfs = true});
+  const TrainingHistory history = run(scheduler, options);
+
+  ASSERT_FALSE(history.empty());
+  EXPECT_TRUE(history.round_of_first_depletion(kUsers).has_value());
+  EXPECT_GT(history.total_crashes(), 0u);
+  EXPECT_GT(history.total_wasted_energy_j(), 0.0);
+
+  std::size_t prev_alive = kUsers;
+  double cum_energy = 0.0;
+  for (const auto& r : history.rounds()) {
+    EXPECT_LE(r.alive_users, prev_alive);           // batteries only drain
+    prev_alive = r.alive_users;
+    EXPECT_LE(r.available_users, kUsers);
+    cum_energy += r.round_energy_j;
+    EXPECT_DOUBLE_EQ(r.cum_energy_j, cum_energy);   // no joule lost or double-counted
+    EXPECT_LE(r.wasted_energy_j, r.round_energy_j);
+    EXPECT_LE(r.survivors + r.crashed, r.selected.size());
+  }
+
+  // α_q must count exactly the appearances that survived into the model:
+  // selection increments, report_completion revokes the casualties.
+  const auto aggregated = history.aggregation_counts(kUsers);
+  const auto counters = scheduler.selector().appearance_counts();
+  ASSERT_EQ(counters.size(), kUsers);
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    EXPECT_EQ(counters[i], aggregated[i]) << "user " << i;
+  }
+}
+
 TEST_F(TrainerExtensionTest, SparsificationRunsAndShrinksUploads) {
   TrainerOptions options = base_options();
   options.compression = {.kind = nn::CompressionKind::kSparsification,
