@@ -9,8 +9,9 @@
 #include "bench_common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace helcfl;
+  sim::Observability observability = bench::parse_observability(argc, argv);
   const double etas[] = {0.5, 0.7, 0.8, 0.9, 0.95, 0.99};
   constexpr double kTarget = 0.58;
 
@@ -27,6 +28,7 @@ int main() {
     config.trainer.max_rounds = 200;
     config.eta = eta;
     config.scheme = sim::Scheme::kHelcfl;
+    config.trainer.obs = observability.instruments();
     const sim::ExperimentResult result = sim::run_experiment(config);
 
     const auto t = result.history.time_to_accuracy(kTarget);
@@ -42,5 +44,6 @@ int main() {
                    util::CsvWriter::field(fairness)});
   }
   std::printf("\nrows written to bench_results/ablation_eta.csv\n");
+  observability.finish();
   return 0;
 }

@@ -9,8 +9,9 @@
 #include "bench_common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace helcfl;
+  sim::Observability observability = bench::parse_observability(argc, argv);
   const double fractions[] = {0.05, 0.1, 0.2, 0.3};
   constexpr double kTarget = 0.58;
 
@@ -27,6 +28,7 @@ int main() {
     config.trainer.max_rounds = 150;
     config.fraction = fraction;
     config.scheme = sim::Scheme::kHelcfl;
+    config.trainer.obs = observability.instruments();
     const sim::ExperimentResult result = sim::run_experiment(config);
 
     const auto t = result.history.time_to_accuracy(kTarget);
@@ -45,5 +47,6 @@ int main() {
                    util::CsvWriter::field(mean_round)});
   }
   std::printf("\nrows written to bench_results/ablation_fraction.csv\n");
+  observability.finish();
   return 0;
 }

@@ -62,7 +62,8 @@ class RoundRobinSelection : public sched::SelectionStrategy {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sim::Observability observability = bench::parse_observability(argc, argv);
   constexpr double kTarget = 0.58;
   util::CsvWriter csv(bench::csv_path("ablation_utility.csv"),
                       {"rule", "best_accuracy", "time_to_target_min", "total_delay_min",
@@ -106,7 +107,8 @@ int main() {
                    util::CsvWriter::field(fairness)});
   };
 
-  for (const auto& row : rows) {
+  for (auto& row : rows) {
+    row.config.trainer.obs = observability.instruments();
     const sim::ExperimentResult result = sim::run_experiment(row.config);
     report(row.label, result.history, row.config.n_users);
   }
@@ -139,5 +141,6 @@ int main() {
   }
 
   std::printf("\nrows written to bench_results/ablation_utility.csv\n");
+  observability.finish();
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "sim/report.h"
 #include "sim/simulation.h"
+#include "util/args.h"
 
 namespace helcfl::bench {
 
@@ -34,10 +35,28 @@ inline std::string csv_path(const std::string& name) {
   return "bench_results/" + name;
 }
 
+/// Parses the shared observability flags — --trace-out, --trace-level,
+/// --profile, --chrome-trace (docs/OBSERVABILITY.md) — every bench
+/// accepts.  Attach the sinks to each run with
+/// `config.trainer.obs = observability.instruments()` (or pass them to
+/// run_scheme); when a bench runs several experiments, all of their events
+/// land in one trace, separated by `run_start` events.  Call `finish()` on
+/// the returned object once after the last run; with no flags given
+/// everything is inert.
+inline sim::Observability parse_observability(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  return sim::Observability(
+      args.get_or("trace-out", ""), args.get_or("trace-level", "decision"),
+      args.get_bool_or("profile", false), args.get_or("chrome-trace", ""));
+}
+
 /// Runs one scheme of the evaluation setup and logs progress.
+/// `instruments` (optional) attaches the bench's observability sinks.
 inline sim::ExperimentResult run_scheme(sim::ExperimentConfig config,
-                                        sim::Scheme scheme) {
+                                        sim::Scheme scheme,
+                                        const obs::Instruments& instruments = {}) {
   config.scheme = scheme;
+  config.trainer.obs = instruments;
   std::printf("  running %-14s ...", sim::scheme_name(scheme).c_str());
   std::fflush(stdout);
   sim::ExperimentResult result = sim::run_experiment(config);

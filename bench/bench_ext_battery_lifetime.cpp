@@ -10,8 +10,9 @@
 #include "bench_common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace helcfl;
+  sim::Observability observability = bench::parse_observability(argc, argv);
   constexpr double kBudgetJ = 20.0;  // a few dozen participations per device
 
   util::CsvWriter csv(bench::csv_path("ext_battery_lifetime.csv"),
@@ -32,6 +33,7 @@ int main() {
     config.trainer.max_rounds = 3000;  // run until the batteries decide
     config.trainer.eval_every = 10;
     config.trainer.battery_capacity_j = kBudgetJ;
+    config.trainer.obs = observability.instruments();
     const sim::ExperimentResult result = sim::run_experiment(config);
 
     const auto first_death =
@@ -59,5 +61,6 @@ int main() {
               "withdraws less from every battery: the same budget funds more\n"
               "rounds and a higher final accuracy.\n");
   std::printf("rows written to bench_results/ext_battery_lifetime.csv\n");
+  observability.finish();
   return 0;
 }

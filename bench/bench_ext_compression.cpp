@@ -8,8 +8,9 @@
 #include "bench_common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace helcfl;
+  sim::Observability observability = bench::parse_observability(argc, argv);
   constexpr double kTarget = 0.58;
 
   util::CsvWriter csv(bench::csv_path("ext_compression.csv"),
@@ -45,6 +46,7 @@ int main() {
     config.scheme = arm.scheme;
     config.trainer.max_rounds = 200;
     config.trainer.compression = arm.compression;
+    config.trainer.obs = observability.instruments();
     const sim::ExperimentResult result = sim::run_experiment(config);
 
     const auto t = result.history.time_to_accuracy(kTarget);
@@ -62,5 +64,6 @@ int main() {
               "with selection; extreme compression (1-bit, top-5%%) trades the\n"
               "remaining accuracy for speed — the paper's Section-I claim.\n");
   std::printf("rows written to bench_results/ext_compression.csv\n");
+  observability.finish();
   return 0;
 }

@@ -8,8 +8,9 @@
 #include "bench_common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace helcfl;
+  sim::Observability observability = bench::parse_observability(argc, argv);
   constexpr double kTarget = 0.58;
 
   util::CsvWriter csv(bench::csv_path("ext_fading.csv"),
@@ -24,6 +25,7 @@ int main() {
       sim::ExperimentConfig config = bench::evaluation_config(/*noniid=*/true);
       config.scheme = scheme;
       config.trainer.max_rounds = 200;
+      config.trainer.obs = observability.instruments();
       if (sigma_db > 0.0) {
         config.trainer.fading = {.enabled = true, .rho = 0.8, .sigma_db = sigma_db};
       }
@@ -43,5 +45,6 @@ int main() {
               "the per-round noise partially averages out, so HELCFL's ranking\n"
               "stays useful even though it was computed once at initialization.\n");
   std::printf("rows written to bench_results/ext_fading.csv\n");
+  observability.finish();
   return 0;
 }

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace helcfl;
   const util::ArgParser args(argc, argv);
+  sim::Observability observability = bench::parse_observability(argc, argv);
   const auto rounds = static_cast<std::size_t>(args.get_int_or("rounds", 150));
 
   struct FaultLevel {
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
       config.trainer.max_upload_retries = 2;
       config.trainer.retry_backoff_s = 0.5;
       config.trainer.min_clients = 3;
+      config.trainer.obs = observability.instruments();
       const sim::ExperimentResult result = sim::run_experiment(config);
       const auto& h = result.history;
 
@@ -81,5 +83,6 @@ int main(int argc, char** argv) {
               "entered the model, and FedCS/Oort demote chronically failing\n"
               "devices, so accuracy degrades gracefully as fault rates rise.\n");
   std::printf("rows written to bench_results/ext_resilience.csv\n");
+  observability.finish();
   return 0;
 }

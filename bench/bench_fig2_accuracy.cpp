@@ -6,8 +6,9 @@
 // to bench_results/fig2_{iid,noniid}_<scheme>.csv.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace helcfl;
+  sim::Observability observability = bench::parse_observability(argc, argv);
   const sim::Scheme schemes[] = {sim::Scheme::kHelcfl, sim::Scheme::kClassicFl,
                                  sim::Scheme::kFedCs, sim::Scheme::kFedl,
                                  sim::Scheme::kSl};
@@ -21,7 +22,8 @@ int main() {
     std::vector<fl::TrainingHistory> histories;
     for (const auto scheme : schemes) {
       sim::ExperimentResult result =
-          bench::run_scheme(bench::evaluation_config(noniid), scheme);
+          bench::run_scheme(bench::evaluation_config(noniid), scheme,
+                            observability.instruments());
       sim::write_history_csv(
           bench::csv_path(std::string("fig2_") + setting + "_" + result.scheme + ".csv"),
           result.history);
@@ -44,5 +46,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("series written to bench_results/fig2_*.csv\n");
+  observability.finish();
   return 0;
 }

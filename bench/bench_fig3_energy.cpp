@@ -9,8 +9,9 @@
 #include "bench_common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace helcfl;
+  sim::Observability observability = bench::parse_observability(argc, argv);
   const double iid_targets[] = {0.55, 0.62, 0.68};
   const double noniid_targets[] = {0.50, 0.58, 0.65};
 
@@ -24,9 +25,11 @@ int main() {
                 noniid ? "non-IID" : "IID");
 
     const sim::ExperimentResult with_dvfs =
-        bench::run_scheme(bench::evaluation_config(noniid), sim::Scheme::kHelcfl);
+        bench::run_scheme(bench::evaluation_config(noniid), sim::Scheme::kHelcfl,
+                          observability.instruments());
     const sim::ExperimentResult without_dvfs = bench::run_scheme(
-        bench::evaluation_config(noniid), sim::Scheme::kHelcflNoDvfs);
+        bench::evaluation_config(noniid), sim::Scheme::kHelcflNoDvfs,
+        observability.instruments());
 
     std::printf("\n%-14s %14s %14s %12s\n", "desired acc", "HELCFL (J)",
                 "w/o DVFS (J)", "reduction");
@@ -56,5 +59,6 @@ int main() {
                 without_dvfs.history.total_energy_j(), total_reduction);
   }
   std::printf("rows written to bench_results/fig3_energy.csv\n");
+  observability.finish();
   return 0;
 }

@@ -9,8 +9,9 @@
 #include "bench_common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace helcfl;
+  sim::Observability observability = bench::parse_observability(argc, argv);
   const sim::Scheme schemes[] = {sim::Scheme::kHelcfl, sim::Scheme::kClassicFl,
                                  sim::Scheme::kFedCs, sim::Scheme::kFedl,
                                  sim::Scheme::kSl};
@@ -29,7 +30,8 @@ int main() {
     std::vector<fl::TrainingHistory> histories;
     for (const auto scheme : schemes) {
       sim::ExperimentResult result =
-          bench::run_scheme(bench::evaluation_config(noniid), scheme);
+          bench::run_scheme(bench::evaluation_config(noniid), scheme,
+                            observability.instruments());
       labels.push_back(result.scheme);
       histories.push_back(std::move(result.history));
     }
@@ -66,5 +68,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("rows written to bench_results/table1_delay.csv\n");
+  observability.finish();
   return 0;
 }

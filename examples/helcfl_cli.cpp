@@ -15,11 +15,20 @@
 //              [--max-retries=N] [--retry-backoff-s=F]
 //              [--straggler-cutoff-s=F] [--min-clients=N]
 //              [--threads=N] [--csv=path] [--quiet]
+//              [--trace-out=path] [--trace-level=round|decision|debug]
+//              [--profile] [--chrome-trace=path]
 //
 // --threads=0 (the default) uses every hardware thread; --threads=1 forces
 // the sequential reference path.  Results are bitwise identical either way
 // (the parallel engine's determinism guarantee, DESIGN.md §7) — including
 // with faults enabled, whose draws are forked per (round, user).
+//
+// Observability (docs/OBSERVABILITY.md): --trace-out writes one JSON event
+// per line (selection decisions, DVFS assignments, TDMA spans, faults,
+// round summaries) at --trace-level (default "decision"); --profile prints
+// end-of-run phase-timing and counter tables; --chrome-trace writes the
+// phase spans as a chrome://tracing JSON.  Tracing never perturbs the run:
+// the model trajectory is bitwise identical with or without these flags.
 //
 // Examples:
 //   helcfl_cli --scheme=helcfl --setting=noniid --rounds=300 --csv=run.csv
@@ -96,6 +105,11 @@ int main(int argc, char** argv) {
     const std::string csv_path = args.get_or("csv", "");
     if (args.get_bool_or("quiet", false)) util::set_log_level(util::LogLevel::kWarn);
 
+    sim::Observability observability(
+        args.get_or("trace-out", ""), args.get_or("trace-level", "decision"),
+        args.get_bool_or("profile", false), args.get_or("chrome-trace", ""));
+    config.trainer.obs = observability.instruments();
+
     for (const auto& name : args.unused()) {
       std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
     }
@@ -141,6 +155,7 @@ int main(int argc, char** argv) {
       sim::write_history_csv(csv_path, result.history);
       std::printf("per-round CSV   %s\n", csv_path.c_str());
     }
+    observability.finish();
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mec/cost_model.h"
+
 namespace helcfl::core {
 
 double FrequencyPlan::frequency_of(std::size_t user) const {
@@ -43,6 +45,13 @@ FrequencyPlan determine_frequencies(const sched::FleetView& fleet,
       const double f_ideal = device.total_cycles() / prev_total_s;
       assignment.frequency_hz = device.clamp_frequency(f_ideal);
       assignment.compute_end_s = device.total_cycles() / assignment.frequency_hz;
+      assignment.clamped = assignment.frequency_hz != f_ideal;
+      // Decision telemetry: how much Fig.-1 idle time became slow
+      // computation, and the Eq.-(5) energy that stretch saved vs f_max.
+      assignment.slack_reclaimed_s = assignment.compute_end_s - info.t_cal_max_s;
+      assignment.energy_saved_j =
+          mec::compute_energy_j(device, device.f_max_hz) -
+          mec::compute_energy_j(device, assignment.frequency_hz);
     }
     assignment.upload_start_s = std::max(assignment.compute_end_s, prev_total_s);
     assignment.upload_end_s = assignment.upload_start_s + info.t_com_s;

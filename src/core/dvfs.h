@@ -23,13 +23,25 @@
 
 namespace helcfl::core {
 
-/// Result of a frequency determination for one selected user.
+/// Result of a frequency determination for one selected user.  The last
+/// three fields are decision telemetry (traced as `dvfs` events); they are
+/// derived from the same inputs as `frequency_hz` and never feed back into
+/// the plan.
 struct FrequencyAssignment {
   std::size_t user = 0;          ///< index into FleetView::users
   double frequency_hz = 0.0;     ///< determined operating frequency
   double compute_end_s = 0.0;    ///< T^cal at the determined frequency
   double upload_start_s = 0.0;   ///< when this user's uplink grant begins
   double upload_end_s = 0.0;     ///< upload_start + T^com
+  bool clamped = false;          ///< constraint (15) fired: the ideal
+                                 ///< f = pi*|D|/T_prev fell outside
+                                 ///< [f_min, f_max] (false for the first user)
+  double slack_reclaimed_s = 0.0;  ///< compute stretch vs f_max
+                                   ///< (T^cal(f) - T^cal(f_max)): the Fig.-1
+                                   ///< idle time Algorithm 3 converted into
+                                   ///< slow computation
+  double energy_saved_j = 0.0;   ///< Eq. (5) at f_max minus Eq. (5) at f —
+                                 ///< the compute energy the stretch saved
 };
 
 /// The full plan, in upload (ascending compute delay) order.

@@ -17,7 +17,8 @@ GreedyDecaySelector::GreedyDecaySelector(double fraction, double eta)
   }
 }
 
-std::vector<std::size_t> GreedyDecaySelector::select(const sched::FleetView& fleet) {
+std::vector<std::size_t> GreedyDecaySelector::select(
+    const sched::FleetView& fleet, std::vector<SelectionTraceEntry>* trace) {
   const std::size_t q = fleet.users.size();
   if (counters_.empty()) {
     counters_.assign(q, 0);
@@ -43,6 +44,18 @@ std::vector<std::size_t> GreedyDecaySelector::select(const sched::FleetView& fle
     return utilities[a] > utilities[b];
   });
   order.resize(n);
+
+  // Decision-time telemetry (pure observation: α_q captured before the
+  // line-18 increment below, so the trace shows the counters the Eq. (20)
+  // ranking actually used).
+  if (trace != nullptr) {
+    trace->clear();
+    trace->reserve(order.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      const std::size_t i = order[rank];
+      trace->push_back({i, rank, utilities[i], counters_[i]});
+    }
+  }
 
   // Line 18: decay the selected users' future utility.
   for (const std::size_t i : order) ++counters_[i];

@@ -13,6 +13,16 @@
 
 namespace helcfl::core {
 
+/// Decision-time telemetry of one selected user: why Algorithm 2 took it
+/// this round.  Captured *at* the decision (α_q before its increment), so
+/// a trace consumer can recompute the Eq. (20) ranking exactly.
+struct SelectionTraceEntry {
+  std::size_t user = 0;         ///< index into FleetView::users
+  std::size_t rank = 0;         ///< 0 = highest utility this round
+  double utility = 0.0;         ///< u_q = η^α_q / (T^cal_max + T^com), Eq. (20)
+  std::size_t appearances = 0;  ///< α_q at decision time (pre-increment)
+};
+
 class GreedyDecaySelector {
  public:
   /// `fraction` is the user selection fraction C; `eta` the decay
@@ -21,8 +31,11 @@ class GreedyDecaySelector {
 
   /// Selects the round's user set and updates the appearance counters
   /// (Algorithm 2 lines 8-19).  Counters are lazily sized to the fleet on
-  /// first call; the fleet size must not change across calls.
-  std::vector<std::size_t> select(const sched::FleetView& fleet);
+  /// first call; the fleet size must not change across calls.  When
+  /// `trace` is non-null it is filled with one entry per selected user in
+  /// rank order — pure observation, the selection itself is unchanged.
+  std::vector<std::size_t> select(const sched::FleetView& fleet,
+                                  std::vector<SelectionTraceEntry>* trace = nullptr);
 
   /// Appearance counters alpha_q (empty before the first select()).
   std::span<const std::size_t> appearance_counts() const { return counters_; }

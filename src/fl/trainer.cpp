@@ -11,6 +11,9 @@
 #include "mec/cost_model.h"
 #include "mec/tdma.h"
 #include "nn/serialize.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -125,6 +128,13 @@ FederatedTrainer::FederatedTrainer(nn::Sequential& model, const data::Dataset& t
 
 TrainingHistory FederatedTrainer::run() {
   strategy_.reset();
+  // Observability sinks (DESIGN.md §9): every use below is read-only — a
+  // null check followed by emitting values the round already computed.
+  obs::Tracer* const tracer = options_.obs.tracer;
+  obs::PhaseProfiler* const profiler = options_.obs.profiler;
+  obs::Registry* const registry = options_.obs.registry;
+  strategy_.set_instruments(options_.obs);
+
   const bool batteries_enabled = batteries_.size() > 0;
   util::Rng batch_rng(options_.seed);
   mec::FadingProcess fading(users_.size(), options_.fading,
@@ -134,6 +144,7 @@ TrainingHistory FederatedTrainer::run() {
   // client trains on.
   mec::FaultInjector injector(users_.size(), options_.faults,
                               util::Rng(options_.seed).fork(0xFA0175));
+  injector.set_tracer(tracer);
   const std::size_t max_attempts = 1 + options_.max_upload_retries;
 
   // Parallel round-execution engine (DESIGN.md §7): a fixed worker pool
@@ -158,6 +169,19 @@ TrainingHistory FederatedTrainer::run() {
   TrainingHistory history;
   double cum_delay = 0.0;
   double cum_energy = 0.0;
+  double cum_wasted_energy = 0.0;
+  double best_accuracy = -1.0;
+
+  if (tracer != nullptr && tracer->enabled(obs::TraceLevel::kRound)) {
+    tracer->emit(obs::TraceLevel::kRound, "run_start",
+                 {{"strategy", strategy_.name()},
+                  {"users", users_.size()},
+                  {"max_rounds", options_.max_rounds},
+                  {"threads", pool.worker_count() == 0 ? std::size_t{1}
+                                                       : pool.worker_count()},
+                  {"seed", options_.seed},
+                  {"faults_enabled", injector.active()}});
+  }
 
   for (std::size_t round = 0; round < options_.max_rounds; ++round) {
     if (batteries_enabled && batteries_.alive_count() == 0) {
@@ -190,8 +214,20 @@ TrainingHistory FederatedTrainer::run() {
     }
     const std::size_t available = fleet.alive_count();
 
-    const sched::Decision decision =
-        available == 0 ? sched::Decision{} : strategy_.decide(fleet, round);
+    if (tracer != nullptr && tracer->enabled(obs::TraceLevel::kRound)) {
+      tracer->emit(obs::TraceLevel::kRound, "round_start",
+                   {{"round", round},
+                    {"available", available},
+                    {"alive", batteries_enabled ? batteries_.alive_count()
+                                                : users_.size()}});
+    }
+
+    sched::Decision decision;
+    {
+      obs::ScopedSpan selection_span(profiler, "selection",
+                                     static_cast<std::int64_t>(round));
+      if (available > 0) decision = strategy_.decide(fleet, round);
+    }
     if (decision.selected.empty()) {
       if (injector.active() && injector.away_count() > 0) {
         // Churn emptied the selectable fleet this round; that is transient
@@ -205,6 +241,16 @@ TrainingHistory FederatedTrainer::run() {
             batteries_enabled ? batteries_.alive_count() : users_.size();
         skipped.available_users = available;
         history.add(std::move(skipped));
+        if (registry != nullptr) registry->add("rounds.skipped");
+        if (tracer != nullptr && tracer->enabled(obs::TraceLevel::kRound)) {
+          tracer->emit(obs::TraceLevel::kRound, "round_end",
+                       {{"round", round},
+                        {"selected", std::size_t{0}},
+                        {"survivors", std::size_t{0}},
+                        {"quorum_failed", true},
+                        {"cum_delay_s", cum_delay},
+                        {"cum_energy_j", cum_energy}});
+        }
         continue;
       }
       util::log_info("FederatedTrainer: strategy returned no users; stopping");
@@ -254,6 +300,12 @@ TrainingHistory FederatedTrainer::run() {
     std::vector<ClientOutcome> outcomes(cohort);
     auto run_client = [&](std::size_t k) {
       const std::size_t user = decision.selected[k];
+      // Per-client span (kDebug): tagged with the pool-worker tid by the
+      // profiler, so chrome://tracing shows the cohort's actual packing.
+      obs::ScopedSpan client_span(profiler, "client",
+                                  static_cast<std::int64_t>(round),
+                                  static_cast<std::int64_t>(user),
+                                  obs::TraceLevel::kDebug);
       const double f = decision.frequencies_hz[k];
       const mec::ClientFaults faults = client_faults[k];
       const mec::Device& device = devices_[user];
@@ -313,6 +365,8 @@ TrainingHistory FederatedTrainer::run() {
       outcomes[k] = std::move(outcome);
     };
 
+    obs::ScopedSpan training_span(profiler, "local_training",
+                                  static_cast<std::int64_t>(round));
     if (pool.worker_count() == 0) {
       for (std::size_t k = 0; k < cohort; ++k) run_client(k);
     } else {
@@ -350,6 +404,7 @@ TrainingHistory FederatedTrainer::run() {
             failures);
       }
     }
+    training_span.finish();
 
     // TDMA serialization over the clients that actually transmit (crashed
     // clients never reach the uplink).  A failed attempt occupies the
@@ -378,18 +433,77 @@ TrainingHistory FederatedTrainer::run() {
     // the last upload lands, whichever is earlier; updates completing after
     // the cutoff are discarded.
     const double cutoff = options_.straggler_cutoff_s;
+    const bool trace_tdma =
+        tracer != nullptr && tracer->enabled(obs::TraceLevel::kDecision);
     for (const mec::UploadSlot& slot : schedule.slots) {
-      ClientOutcome& outcome = outcomes[transmitting[slot.index]];
-      if (!outcome.upload_ok) continue;
-      if (slot.upload_end <= cutoff) {
-        outcome.accepted = true;
-      } else {
-        outcome.dropped_late = true;
+      const std::size_t k = transmitting[slot.index];
+      ClientOutcome& outcome = outcomes[k];
+      if (outcome.upload_ok) {
+        if (slot.upload_end <= cutoff) {
+          outcome.accepted = true;
+        } else {
+          outcome.dropped_late = true;
+        }
+      }
+      // TDMA telemetry in grant order — the Fig.-1 timeline, one event per
+      // transmitting client (crashed clients never reach the uplink).
+      if (trace_tdma) {
+        tracer->emit(obs::TraceLevel::kDecision, "tdma",
+                     {{"round", round},
+                      {"user", decision.selected[k]},
+                      {"attempts", outcome.attempts},
+                      {"compute_end_s", slot.compute_end},
+                      {"upload_start_s", slot.upload_start},
+                      {"upload_end_s", slot.upload_end},
+                      {"slack_s", slot.slack_s},
+                      {"accepted", outcome.accepted},
+                      {"dropped_late", outcome.dropped_late}});
       }
     }
     const double round_delay = std::min(schedule.round_delay_s, cutoff);
 
+    // Fault telemetry, selection order: what the injector (and the cutoff)
+    // actually did to this cohort.  Reads only the pre-drawn fault records
+    // and the TDMA outcome — emitting changes no draw.
+    if (tracer != nullptr && tracer->enabled(obs::TraceLevel::kRound)) {
+      for (std::size_t k = 0; k < cohort; ++k) {
+        const std::size_t user = decision.selected[k];
+        const mec::ClientFaults& faults = client_faults[k];
+        if (faults.crashed) {
+          tracer->emit(obs::TraceLevel::kRound, "fault",
+                       {{"round", round},
+                        {"user", user},
+                        {"kind", "crash"},
+                        {"crash_fraction", faults.crash_fraction}});
+        }
+        if (faults.slowdown > 1.0) {
+          tracer->emit(obs::TraceLevel::kRound, "fault",
+                       {{"round", round},
+                        {"user", user},
+                        {"kind", "straggler"},
+                        {"slowdown", faults.slowdown}});
+        }
+        if (faults.failed_attempts > 0) {
+          tracer->emit(obs::TraceLevel::kRound, "fault",
+                       {{"round", round},
+                        {"user", user},
+                        {"kind", "upload_failure"},
+                        {"failed_attempts", faults.failed_attempts},
+                        {"upload_ok", faults.upload_ok}});
+        }
+        if (outcomes[k].dropped_late) {
+          tracer->emit(obs::TraceLevel::kRound, "fault",
+                       {{"round", round},
+                        {"user", user},
+                        {"kind", "dropped_late"},
+                        {"cutoff_s", cutoff}});
+        }
+      }
+    }
+
     // Ordered reduction (selection order), identical to the sequential loop.
+    obs::ScopedSpan aggregation_span(profiler, "aggregation",
+                                     static_cast<std::int64_t>(round));
     std::vector<double> user_energies;
     std::vector<double> client_losses;
     std::vector<std::size_t> survivors;  // cohort indices, selection order
@@ -422,6 +536,13 @@ TrainingHistory FederatedTrainer::run() {
     // keeps the previous global model — a failed round costs its delay and
     // energy but moves no weights and feeds no strategy statistics.
     const bool quorum_met = survivors.size() >= options_.min_clients;
+    if (!quorum_met && tracer != nullptr &&
+        tracer->enabled(obs::TraceLevel::kRound)) {
+      tracer->emit(obs::TraceLevel::kRound, "quorum",
+                   {{"round", round},
+                    {"survivors", survivors.size()},
+                    {"min_clients", options_.min_clients}});
+    }
     if (quorum_met) {
       // Line 10: FedAvg integration (Eq. 18) — denominators are the
       // survivors' sample counts only.
@@ -459,6 +580,7 @@ TrainingHistory FederatedTrainer::run() {
       for (const std::size_t k : survivors) completed[k] = 1;
     }
     strategy_.report_completion(round, decision, completed);
+    aggregation_span.finish();
 
     if (batteries_enabled) {
       for (std::size_t k = 0; k < cohort; ++k) {
@@ -498,6 +620,8 @@ TrainingHistory FederatedTrainer::run() {
     const bool last_round = round + 1 == options_.max_rounds;
     const bool over_deadline = cum_delay > options_.deadline_s;
     if (round % options_.eval_every == 0 || last_round || over_deadline) {
+      obs::ScopedSpan eval_span(profiler, "evaluation",
+                                static_cast<std::int64_t>(round));
       Evaluation eval;
       if (pool.worker_count() == 0) {
         eval = evaluate(model_, global_weights, test_, options_.eval_batch);
@@ -517,6 +641,49 @@ TrainingHistory FederatedTrainer::run() {
     }
     const bool target_reached = record.evaluated && options_.target_accuracy >= 0.0 &&
                                 record.test_accuracy >= options_.target_accuracy;
+
+    cum_wasted_energy += wasted_energy;
+    if (registry != nullptr) {
+      registry->add("rounds.completed");
+      registry->add("clients.selected", cohort);
+      registry->add("clients.trained", trained_count);
+      registry->add("clients.crashed", crashed_count);
+      registry->add("clients.dropped_late", dropped_late_count);
+      registry->add("clients.aggregated", record.survivors);
+      registry->add("uploads.failed", upload_failure_count);
+      registry->add("uploads.retries", retry_count);
+      if (!quorum_met) registry->add("rounds.quorum_failed");
+      registry->set_gauge("delay.cum_s", cum_delay);
+      registry->set_gauge("energy.cum_j", cum_energy);
+      registry->set_gauge("energy.wasted_cum_j", cum_wasted_energy);
+      if (record.evaluated) {
+        best_accuracy = std::max(best_accuracy, record.test_accuracy);
+        registry->set_gauge("accuracy.last", record.test_accuracy);
+        registry->set_gauge("accuracy.best", best_accuracy);
+      }
+    }
+    if (tracer != nullptr && tracer->enabled(obs::TraceLevel::kRound)) {
+      std::vector<obs::Field> fields = {
+          {"round", round},
+          {"selected", cohort},
+          {"survivors", record.survivors},
+          {"crashed", crashed_count},
+          {"upload_failures", upload_failure_count},
+          {"dropped_late", dropped_late_count},
+          {"retries", retry_count},
+          {"quorum_failed", !quorum_met},
+          {"round_delay_s", round_delay},
+          {"round_energy_j", round_energy},
+          {"wasted_energy_j", wasted_energy},
+          {"cum_delay_s", cum_delay},
+          {"cum_energy_j", cum_energy},
+          {"train_loss", record.train_loss}};
+      if (record.evaluated) {
+        fields.emplace_back("test_loss", record.test_loss);
+        fields.emplace_back("test_accuracy", record.test_accuracy);
+      }
+      tracer->emit(obs::TraceLevel::kRound, "round_end", fields);
+    }
     history.add(std::move(record));
 
     if (over_deadline) {
@@ -543,6 +710,15 @@ TrainingHistory FederatedTrainer::run() {
         break;
       }
     }
+  }
+
+  if (tracer != nullptr && tracer->enabled(obs::TraceLevel::kRound)) {
+    tracer->emit(obs::TraceLevel::kRound, "run_end",
+                 {{"rounds", history.size()},
+                  {"cum_delay_s", cum_delay},
+                  {"cum_energy_j", cum_energy},
+                  {"wasted_energy_cum_j", cum_wasted_energy}});
+    tracer->flush();
   }
 
   nn::load_parameters(model_, global_weights);

@@ -23,6 +23,7 @@
 #include "mec/faults.h"
 #include "nn/compression.h"
 #include "nn/sequential.h"
+#include "obs/instruments.h"
 #include "sched/scheduler.h"
 
 namespace helcfl::fl {
@@ -83,6 +84,14 @@ struct TrainerOptions {
   /// whose TDMA upload completes later are discarded (their energy is
   /// wasted).  infinity = wait for every upload.
   double straggler_cutoff_s = std::numeric_limits<double>::infinity();
+
+  // --- observability (DESIGN.md §9); fully inert by default ---
+  /// Borrowed trace / profile / counter sinks, all nullable.  Observation
+  /// is strictly read-only: the sinks draw no RNG and reorder nothing, so
+  /// the training trace and final weights are bitwise identical whether or
+  /// not any sink is attached (enforced by test_trace_invariance).  The
+  /// pointees must outlive run().
+  obs::Instruments obs;
 
   /// Validates every field against `n_users` devices; throws
   /// std::invalid_argument with an actionable message on the first

@@ -12,7 +12,7 @@ namespace helcfl::mec {
 
 /// Immutable description of one user device v_q.
 struct Device {
-  std::size_t id = 0;
+  std::size_t id = 0;  ///< user index q; equals the position in the fleet
 
   // --- computation (Eqs. 4-5) ---
   double f_min_hz = 0.3e9;          ///< lowest DVFS frequency

@@ -20,8 +20,9 @@
 
 namespace helcfl::mec {
 
+/// Gauss-Markov fading knobs (see the header comment for the process).
 struct FadingOptions {
-  bool enabled = false;
+  bool enabled = false;   ///< false = static gains, the paper's assumption
   double rho = 0.9;       ///< round-to-round correlation in [0, 1)
   double sigma_db = 4.0;  ///< marginal standard deviation in dB
 };

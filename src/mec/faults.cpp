@@ -51,12 +51,27 @@ FaultInjector::FaultInjector(std::size_t n_devices, const FaultOptions& options,
 }
 
 void FaultInjector::begin_round() {
+  const std::size_t round = round_++;
   if (!active() || options_.leave_rate <= 0.0) return;
+  const bool trace =
+      tracer_ != nullptr && tracer_->enabled(obs::TraceLevel::kRound);
   for (std::size_t i = 0; i < n_devices_; ++i) {
     if (available_[i] != 0) {
-      if (churn_rng_.bernoulli(options_.leave_rate)) available_[i] = 0;
+      if (churn_rng_.bernoulli(options_.leave_rate)) {
+        available_[i] = 0;
+        if (trace) {
+          tracer_->emit(obs::TraceLevel::kRound, "churn",
+                        {{"round", round}, {"user", i}, {"kind", "leave"}});
+        }
+      }
     } else {
-      if (churn_rng_.bernoulli(options_.rejoin_rate)) available_[i] = 1;
+      if (churn_rng_.bernoulli(options_.rejoin_rate)) {
+        available_[i] = 1;
+        if (trace) {
+          tracer_->emit(obs::TraceLevel::kRound, "churn",
+                        {{"round", round}, {"user", i}, {"kind", "rejoin"}});
+        }
+      }
     }
   }
 }

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace helcfl::mec {
@@ -93,8 +94,14 @@ class FaultInjector {
   bool active() const { return options_.enabled && n_devices_ > 0; }
   const FaultOptions& options() const { return options_; }
 
+  /// Attaches a JSONL tracer (borrowed, nullable): every churn transition
+  /// becomes a `churn` event.  Pure observation — the Markov draws are
+  /// identical with or without a tracer.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Advances availability churn by one round.  Call once per round, on the
-  /// coordinator, before selection.  No-op when inactive or leave_rate = 0.
+  /// coordinator, before selection.  No-op when inactive or leave_rate = 0
+  /// (the internal round counter used by churn events still advances).
   void begin_round();
 
   /// 1 = present in the selectable fleet, 0 = away (churn).  Empty span
@@ -118,6 +125,8 @@ class FaultInjector {
   util::Rng client_base_;          ///< parent of the per-(round,user) forks
   util::Rng churn_rng_;            ///< sequential churn stream
   std::vector<std::uint8_t> available_;
+  obs::Tracer* tracer_ = nullptr;  ///< optional churn-event sink (borrowed)
+  std::size_t round_ = 0;          ///< rounds begun (labels churn events)
 };
 
 }  // namespace helcfl::mec

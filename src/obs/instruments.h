@@ -1,0 +1,28 @@
+// Bundle of borrowed observability sinks (`helcfl::obs`).
+//
+// One copyable value carries the optional Tracer / PhaseProfiler /
+// Registry pointers through TrainerOptions and into the strategies, so
+// adding a new sink never changes a constructor signature.  All pointers
+// are non-owning and may be null (the default Instruments is fully inert);
+// the pointees must outlive every component they are attached to.
+#pragma once
+
+namespace helcfl::obs {
+
+class Tracer;
+class PhaseProfiler;
+class Registry;
+
+/// Optional observability sinks, all borrowed, all nullable.
+struct Instruments {
+  Tracer* tracer = nullptr;        ///< JSONL event sink
+  PhaseProfiler* profiler = nullptr;  ///< wall-clock phase spans
+  Registry* registry = nullptr;    ///< counters/gauges
+
+  /// True when at least one sink is attached.
+  bool any() const {
+    return tracer != nullptr || profiler != nullptr || registry != nullptr;
+  }
+};
+
+}  // namespace helcfl::obs

@@ -1,0 +1,80 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+
+namespace helcfl::obs {
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::optional<double> Registry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+bool Registry::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.empty() && gauges_.empty();
+}
+
+std::string Registry::format_table() const {
+  std::string out;
+  char line[160];
+  for (const auto& [name, value] : counters()) {
+    std::snprintf(line, sizeof(line), "%-32s %20llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges()) {
+    std::snprintf(line, sizeof(line), "%-32s %20.6g\n", name.c_str(), value);
+    out += line;
+  }
+  return out;
+}
+
+void Registry::emit_to(Tracer& tracer) const {
+  if (!tracer.enabled(TraceLevel::kRound)) return;
+  for (const auto& [name, value] : counters()) {
+    tracer.emit(TraceLevel::kRound, "counter", {{"name", name}, {"value", value}});
+  }
+  for (const auto& [name, value] : gauges()) {
+    tracer.emit(TraceLevel::kRound, "gauge", {{"name", name}, {"value", value}});
+  }
+}
+
+}  // namespace helcfl::obs

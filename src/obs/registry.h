@@ -1,0 +1,66 @@
+// Counters/gauges registry (`helcfl::obs`).
+//
+// Unifies the ad-hoc run tallies (crash counts, retries, wasted energy,
+// cumulative delay) behind one thread-safe, name-addressed registry:
+//   * a *counter* is a monotonically increasing unsigned total
+//     ("clients.crashed", "uploads.retries");
+//   * a *gauge* is a last-written double ("delay.cum_s", "accuracy.best").
+// Names are dot-separated lowercase paths; the trainer's vocabulary is
+// documented in docs/OBSERVABILITY.md.  Like the Tracer, the registry only
+// observes values the simulation already produced — it never feeds back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace helcfl::obs {
+
+/// Thread-safe counters/gauges store; see the header comment.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Adds `delta` to counter `name` (created at 0 on first use).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Sets gauge `name` to `value` (overwrites).
+  void set_gauge(std::string_view name, double value);
+
+  /// Current counter value; 0 if never touched.
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Current gauge value; nullopt if never set.
+  std::optional<double> gauge(std::string_view name) const;
+
+  /// All counters, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+
+  /// All gauges, sorted by name.
+  std::vector<std::pair<std::string, double>> gauges() const;
+
+  bool empty() const;
+
+  /// Fixed-width console table of every counter and gauge.
+  std::string format_table() const;
+
+  /// Emits one `counter` / `gauge` JSONL event per entry (at kRound level)
+  /// — the end-of-run dump the CLI writes before closing the trace.
+  void emit_to(Tracer& tracer) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+}  // namespace helcfl::obs

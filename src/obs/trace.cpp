@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace helcfl::obs {
+
+namespace {
+
+/// Appends `value` JSON-escaped (without the surrounding quotes).
+void append_escaped(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Appends `value` as a JSON number: shortest round-trip representation;
+/// non-finite values (invalid JSON) become null.
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+}
+
+void append_field(std::string& out, std::string_view key) {
+  out += ",\"";
+  append_escaped(out, key);
+  out += "\":";
+}
+
+}  // namespace
+
+TraceLevel parse_trace_level(std::string_view text) {
+  if (text == "off") return TraceLevel::kOff;
+  if (text == "round") return TraceLevel::kRound;
+  if (text == "decision") return TraceLevel::kDecision;
+  if (text == "debug") return TraceLevel::kDebug;
+  throw std::invalid_argument("parse_trace_level: '" + std::string(text) +
+                              "' is not off|round|decision|debug");
+}
+
+std::string_view trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kRound: return "round";
+    case TraceLevel::kDecision: return "decision";
+    case TraceLevel::kDebug: return "debug";
+  }
+  return "off";
+}
+
+Tracer::Tracer(const std::string& path, TraceLevel level) : level_(level) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file->is_open()) {
+    throw std::runtime_error("Tracer: cannot open trace file '" + path + "'");
+  }
+  sink_ = std::move(file);
+}
+
+Tracer::Tracer(std::unique_ptr<std::ostream> sink, TraceLevel level)
+    : level_(level), sink_(std::move(sink)) {}
+
+Tracer::~Tracer() {
+  if (sink_ != nullptr) sink_->flush();
+}
+
+void Tracer::emit(TraceLevel level, std::string_view event,
+                  std::span<const Field> fields) {
+  if (!enabled(level)) return;
+
+  // Serialize everything but the seq number outside the lock; the seq slot
+  // is left blank-width-free by splitting the line in two parts.
+  std::string body = ",\"event\":\"";
+  append_escaped(body, event);
+  body += '"';
+  for (const Field& field : fields) {
+    append_field(body, field.key_);
+    switch (field.kind_) {
+      case Field::Kind::kDouble: append_double(body, field.double_); break;
+      case Field::Kind::kInt: body += std::to_string(field.int_); break;
+      case Field::Kind::kUint: body += std::to_string(field.uint_); break;
+      case Field::Kind::kBool: body += field.bool_ ? "true" : "false"; break;
+      case Field::Kind::kString:
+        body += '"';
+        append_escaped(body, field.string_);
+        body += '"';
+        break;
+    }
+  }
+  body += "}\n";
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  *sink_ << "{\"seq\":" << seq_++ << body;
+}
+
+std::uint64_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+void Tracer::flush() {
+  if (sink_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_->flush();
+}
+
+}  // namespace helcfl::obs

@@ -1,0 +1,151 @@
+// Structured event tracing for the round engine (`helcfl::obs`).
+//
+// A `Tracer` turns the scheduler's and trainer's per-decision telemetry —
+// Eq. (20) utilities at selection time, Algorithm-3 frequency assignments,
+// TDMA upload spans, injected faults — into one JSON object per line
+// (JSONL), the format Oort-style FL schedulers are debugged with.  The full
+// event schema lives in docs/OBSERVABILITY.md.
+//
+// Design constraints (DESIGN.md §9):
+//   * observability must never perturb the simulation: a Tracer only reads
+//     values the simulation already computed — it draws no RNG, reorders no
+//     reduction, and adds no floating-point operation to any simulated
+//     quantity;
+//   * thread-safe emission: events may be emitted from pool workers; each
+//     event is serialized outside the lock and written as one atomic line,
+//     with a `seq` number assigned under the sink mutex (so `seq` order ==
+//     file order even under concurrent emit);
+//   * zero cost when off: a default-constructed Tracer is disabled —
+//     `enabled()` is false, `emit()` returns immediately, and no line is
+//     ever written.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace helcfl::obs {
+
+/// Verbosity of a trace.  Each event type declares the level it belongs
+/// to; an event is written iff its level <= the tracer's level.
+enum class TraceLevel {
+  kOff = 0,       ///< no events at all (the disabled tracer's level)
+  kRound = 1,     ///< run/round lifecycle, faults, churn, quorum, phases
+  kDecision = 2,  ///< + per-user selection, DVFS, and TDMA events
+  kDebug = 3,     ///< + per-client phase spans (chatty)
+};
+
+/// Parses "off" | "round" | "decision" | "debug" (case-sensitive); throws
+/// std::invalid_argument otherwise.
+TraceLevel parse_trace_level(std::string_view text);
+
+/// The inverse of parse_trace_level.
+std::string_view trace_level_name(TraceLevel level);
+
+/// One key/value pair of a trace event.  Keys and string values are
+/// borrowed (std::string_view) and must outlive the emit() call — in
+/// practice both are literals or locals of the emitting statement.
+class Field {
+ public:
+  template <typename T,
+            std::enable_if_t<std::is_floating_point_v<T>, int> = 0>
+  Field(std::string_view key, T value)
+      : key_(key), kind_(Kind::kDouble), double_(static_cast<double>(value)) {}
+
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && std::is_signed_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  Field(std::string_view key, T value)
+      : key_(key), kind_(Kind::kInt), int_(static_cast<std::int64_t>(value)) {}
+
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && std::is_unsigned_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  Field(std::string_view key, T value)
+      : key_(key), kind_(Kind::kUint), uint_(static_cast<std::uint64_t>(value)) {}
+
+  Field(std::string_view key, bool value)
+      : key_(key), kind_(Kind::kBool), bool_(value) {}
+
+  Field(std::string_view key, std::string_view value)
+      : key_(key), kind_(Kind::kString), string_(value) {}
+
+  Field(std::string_view key, const std::string& value)
+      : key_(key), kind_(Kind::kString), string_(value) {}
+
+  Field(std::string_view key, const char* value)
+      : key_(key), kind_(Kind::kString), string_(value) {}
+
+ private:
+  friend class Tracer;
+  enum class Kind { kDouble, kInt, kUint, kBool, kString };
+
+  std::string_view key_;
+  Kind kind_;
+  double double_ = 0.0;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  bool bool_ = false;
+  std::string_view string_;
+};
+
+/// Thread-safe JSONL event sink.  See the header comment for guarantees.
+class Tracer {
+ public:
+  /// Disabled tracer: every emit() is a no-op, enabled() is always false.
+  Tracer() = default;
+
+  /// Opens `path` (truncating) and records events at or below `level`.
+  /// Throws std::runtime_error if the file cannot be opened.
+  Tracer(const std::string& path, TraceLevel level);
+
+  /// Records to a caller-supplied stream (tests use std::ostringstream).
+  Tracer(std::unique_ptr<std::ostream> sink, TraceLevel level);
+
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// True iff an event of `level` would be written.  Call sites use this to
+  /// skip building field values that are not literally free.
+  bool enabled(TraceLevel level) const {
+    return sink_ != nullptr && level != TraceLevel::kOff &&
+           static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  TraceLevel level() const { return level_; }
+
+  /// Writes `{"seq":N,"event":"<event>",...fields}` as one line, if
+  /// `level` passes the filter.  Safe to call from any thread.
+  void emit(TraceLevel level, std::string_view event,
+            std::initializer_list<Field> fields) {
+    emit(level, event, std::span<const Field>(fields.begin(), fields.size()));
+  }
+
+  /// Span overload for dynamically built field lists.
+  void emit(TraceLevel level, std::string_view event,
+            std::span<const Field> fields);
+
+  /// Events written so far (0 for a disabled tracer).
+  std::uint64_t event_count() const;
+
+  /// Flushes the underlying stream.
+  void flush();
+
+ private:
+  TraceLevel level_ = TraceLevel::kOff;
+  std::unique_ptr<std::ostream> sink_;
+  mutable std::mutex mutex_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace helcfl::obs

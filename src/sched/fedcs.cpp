@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "mec/tdma.h"
+#include "obs/trace.h"
 
 namespace helcfl::sched {
 
@@ -30,7 +31,7 @@ double estimate_round_time(const FleetView& fleet,
   return mec::schedule_uploads(compute, upload).round_delay_s;
 }
 
-Decision FedCsSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
+Decision FedCsSelection::decide(const FleetView& fleet, std::size_t round) {
   // Candidates in ascending order of standalone delay — the "short training
   // delay first" greedy of the paper.  Failure-aware ranking: a consecutive
   // miss doubles a candidate's effective delay, so unreliable clients sink
@@ -76,6 +77,22 @@ Decision FedCsSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
   decision.frequencies_hz.reserve(decision.selected.size());
   for (const std::size_t i : decision.selected) {
     decision.frequencies_hz.push_back(fleet.users[i].device.f_max_hz);
+  }
+  // Decision telemetry: the deadline-greedy admits by ranking delay (the
+  // standalone delay inflated by the failure streak), so the trace records
+  // the value each admitted user was actually ranked by.
+  if (obs::Tracer* tracer = instruments_.tracer;
+      tracer != nullptr && tracer->enabled(obs::TraceLevel::kDecision)) {
+    for (std::size_t rank = 0; rank < decision.selected.size(); ++rank) {
+      const std::size_t user = decision.selected[rank];
+      tracer->emit(obs::TraceLevel::kDecision, "selection",
+                   {{"round", round},
+                    {"user", user},
+                    {"rank", rank},
+                    {"strategy", name()},
+                    {"ranking_delay_s", ranking_delay(user)},
+                    {"deadline_s", deadline_s_}});
+    }
   }
   return decision;
 }

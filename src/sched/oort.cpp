@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace helcfl::sched {
 
 OortSelection::OortSelection(const OortOptions& options, util::Rng rng)
@@ -24,7 +26,7 @@ double OortSelection::statistical_utility(std::size_t user) const {
   return last_loss_[user];
 }
 
-Decision OortSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
+Decision OortSelection::decide(const FleetView& fleet, std::size_t round) {
   const std::size_t q = fleet.users.size();
   if (last_loss_.empty()) {
     last_loss_.assign(q, 0.0);
@@ -84,6 +86,24 @@ Decision OortSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
   decision.frequencies_hz.reserve(decision.selected.size());
   for (const std::size_t i : decision.selected) {
     decision.frequencies_hz.push_back(fleet.users[i].device.f_max_hz);
+  }
+  // Decision telemetry: Oort is debugged through exactly this per-decision
+  // view (Lai et al., OSDI 2021) — the utility each pick was ranked by,
+  // whether it came from the exploit or explore arm, and the reliability
+  // discount its failure streak currently costs it.
+  if (obs::Tracer* tracer = instruments_.tracer;
+      tracer != nullptr && tracer->enabled(obs::TraceLevel::kDecision)) {
+    for (std::size_t rank = 0; rank < decision.selected.size(); ++rank) {
+      const std::size_t user = decision.selected[rank];
+      tracer->emit(obs::TraceLevel::kDecision, "selection",
+                   {{"round", round},
+                    {"user", user},
+                    {"rank", rank},
+                    {"strategy", name()},
+                    {"utility", utilities[user]},
+                    {"explore_arm", rank >= n_exploit},
+                    {"reliability", reliability_multiplier(user)}});
+    }
   }
   return decision;
 }

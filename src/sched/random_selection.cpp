@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace helcfl::sched {
 
 RandomSelection::RandomSelection(double fraction, util::Rng rng)
     : fraction_(fraction), initial_rng_(rng), rng_(rng) {}
 
-Decision RandomSelection::decide(const FleetView& fleet, std::size_t /*round*/) {
+Decision RandomSelection::decide(const FleetView& fleet, std::size_t round) {
   const std::vector<std::size_t> alive = fleet.alive_indices();
   Decision decision;
   if (alive.empty()) return decision;
@@ -19,6 +21,18 @@ Decision RandomSelection::decide(const FleetView& fleet, std::size_t /*round*/) 
   decision.frequencies_hz.reserve(n);
   for (const std::size_t i : decision.selected) {
     decision.frequencies_hz.push_back(fleet.users[i].device.f_max_hz);
+  }
+  // Uniform draws carry no ranking signal; the trace still records who was
+  // picked so runs are comparable across strategies.
+  if (obs::Tracer* tracer = instruments_.tracer;
+      tracer != nullptr && tracer->enabled(obs::TraceLevel::kDecision)) {
+    for (std::size_t rank = 0; rank < decision.selected.size(); ++rank) {
+      tracer->emit(obs::TraceLevel::kDecision, "selection",
+                   {{"round", round},
+                    {"user", decision.selected[rank]},
+                    {"rank", rank},
+                    {"strategy", name()}});
+    }
   }
   return decision;
 }

@@ -14,6 +14,7 @@
 
 #include "mec/channel.h"
 #include "mec/device.h"
+#include "obs/instruments.h"
 
 namespace helcfl::sched {
 
@@ -21,10 +22,12 @@ namespace helcfl::sched {
 /// (Algorithm 1 lines 1-2): its device parameters and the delays derived
 /// from them at maximum frequency.
 struct UserInfo {
-  mec::Device device;
-  double t_cal_max_s = 0.0;  ///< Eq. (4) at f_max
-  double t_com_s = 0.0;      ///< Eq. (7)
+  mec::Device device;        ///< static resource description of v_q
+  double t_cal_max_s = 0.0;  ///< T^cal at f_max — Eq. (4)
+  double t_com_s = 0.0;      ///< T^com — Eq. (7)
 
+  /// Standalone round delay at f_max (Eq. 9, ignoring TDMA queueing) —
+  /// the denominator of the Eq. (20) utility.
   double total_delay_max_s() const { return t_cal_max_s + t_com_s; }
 };
 
@@ -34,11 +37,13 @@ struct UserInfo {
 /// (1 = selectable); an empty mask means every user is available.  A
 /// strategy must never select a user whose mask entry is 0.
 struct FleetView {
-  std::span<const UserInfo> users;
-  std::span<const std::uint8_t> alive = {};
+  std::span<const UserInfo> users;         ///< all Q users, index = user id
+  std::span<const std::uint8_t> alive = {};  ///< 1 = selectable; empty = all
 
+  /// Whether user i may be selected this round.
   bool is_alive(std::size_t i) const { return alive.empty() || alive[i] != 0; }
 
+  /// Number of selectable users.
   std::size_t alive_count() const {
     if (alive.empty()) return users.size();
     std::size_t count = 0;
@@ -105,7 +110,22 @@ class SelectionStrategy {
   /// Restores construction-time state (counters, RNG stream).
   virtual void reset() = 0;
 
+  /// Human-readable scheme label ("HELCFL", "FedCS", ...); also the
+  /// `strategy` field of every traced selection event.
   virtual std::string name() const = 0;
+
+  /// Attaches observability sinks (all borrowed, all nullable; see
+  /// `obs::Instruments`).  The trainer calls this at the start of run()
+  /// with its own instruments so strategy decisions land in the same
+  /// trace.  Tracing must never perturb a decision: strategies only read
+  /// already-computed values when emitting (no RNG, no reordering).
+  void set_instruments(const obs::Instruments& instruments) {
+    instruments_ = instruments;
+  }
+
+ protected:
+  /// The attached sinks (default: all null, i.e. tracing off).
+  obs::Instruments instruments_{};
 };
 
 /// N = max(Q * C, 1) of Algorithm 2 line 11.

@@ -88,4 +88,45 @@ void print_accuracy_curves(std::span<const std::string> labels,
   }
 }
 
+Observability::Observability(const std::string& trace_path,
+                             const std::string& level, bool profile,
+                             const std::string& chrome_path)
+    : print_tables_(profile),
+      trace_path_(trace_path),
+      chrome_path_(chrome_path) {
+  if (!trace_path.empty()) {
+    tracer_ = std::make_unique<obs::Tracer>(trace_path,
+                                            obs::parse_trace_level(level));
+  }
+  if (profile || !chrome_path.empty()) {
+    profiler_ = std::make_unique<obs::PhaseProfiler>(tracer_.get());
+  }
+  if (tracer_ || profiler_) registry_ = std::make_unique<obs::Registry>();
+}
+
+obs::Instruments Observability::instruments() {
+  return {tracer_.get(), profiler_.get(), registry_.get()};
+}
+
+void Observability::finish() {
+  if (registry_ && tracer_) registry_->emit_to(*tracer_);
+  if (print_tables_ && profiler_) {
+    std::printf("\n%s", profiler_->format_summary().c_str());
+  }
+  if (print_tables_ && registry_ && !registry_->empty()) {
+    std::printf("\n%s", registry_->format_table().c_str());
+  }
+  if (profiler_ && !chrome_path_.empty()) {
+    profiler_->write_chrome_trace(chrome_path_);
+    std::printf("chrome trace    %s\n", chrome_path_.c_str());
+  }
+  if (tracer_) {
+    tracer_->flush();
+    std::printf("trace           %s (%llu events, level %s)\n",
+                trace_path_.c_str(),
+                static_cast<unsigned long long>(tracer_->event_count()),
+                std::string(obs::trace_level_name(tracer_->level())).c_str());
+  }
+}
+
 }  // namespace helcfl::sim

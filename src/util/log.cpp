@@ -1,11 +1,13 @@
 #include "util/log.h"
 
-#include <iostream>
+#include <atomic>
+#include <cstdio>
+#include <string>
 
 namespace helcfl::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 std::string_view tag(LogLevel level) {
   switch (level) {
@@ -19,13 +21,24 @@ std::string_view tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, std::string_view message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::cerr << "[" << tag(level) << "] " << message << '\n';
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  // One formatted buffer, one fwrite: POSIX stdio streams lock around each
+  // call, so concurrent messages from pool workers never interleave.
+  std::string line;
+  line.reserve(message.size() + 10);
+  line += '[';
+  line += tag(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void log_debug(std::string_view message) { log(LogLevel::kDebug, message); }

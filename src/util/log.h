@@ -1,7 +1,10 @@
 // Small leveled logger for simulation progress output.
 //
-// Not a general-purpose logging framework: single-threaded simulation code
-// only needs a global level filter and stderr sink.
+// Not a general-purpose logging framework — just a global level filter and
+// a stderr sink — but it IS thread-safe: the parallel round engine logs
+// from pool workers, so each message is formatted into one buffer and
+// written to stderr with a single fwrite (messages never interleave), and
+// the level filter is an atomic.
 #pragma once
 
 #include <string_view>

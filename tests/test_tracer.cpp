@@ -1,0 +1,328 @@
+// Tests for the helcfl::obs observability subsystem (docs/OBSERVABILITY.md):
+// JSONL validity and escaping, level filtering, zero-event output when
+// disabled, seq ordering under concurrent emit from many threads, phase
+// profiling spans/summary, and the counters/gauges registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace helcfl::obs {
+namespace {
+
+/// Splits a JSONL buffer into its lines (the trailing newline dropped).
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// Minimal structural JSON-object check for one emitted line: brace
+/// delimited, balanced braces/brackets outside strings, an even number of
+/// unescaped quotes, no raw control characters.
+void expect_valid_json_object(const std::string& line) {
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '{') << line;
+  EXPECT_EQ(line.back(), '}') << line;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : line) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20) << "raw control char: " << line;
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0) << line;
+  }
+  EXPECT_FALSE(in_string) << line;
+  EXPECT_EQ(depth, 0) << line;
+}
+
+/// Tracer over an in-memory buffer; keeps a borrowed view of the stream.
+struct MemoryTrace {
+  explicit MemoryTrace(TraceLevel level) {
+    auto stream = std::make_unique<std::ostringstream>();
+    buffer = stream.get();
+    tracer = std::make_unique<Tracer>(std::move(stream), level);
+  }
+  std::string text() {
+    tracer->flush();
+    return buffer->str();
+  }
+  std::ostringstream* buffer = nullptr;
+  std::unique_ptr<Tracer> tracer;
+};
+
+TEST(TraceLevelTest, ParseAndNameRoundTrip) {
+  for (const TraceLevel level : {TraceLevel::kOff, TraceLevel::kRound,
+                                 TraceLevel::kDecision, TraceLevel::kDebug}) {
+    EXPECT_EQ(parse_trace_level(trace_level_name(level)), level);
+  }
+  EXPECT_THROW(parse_trace_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(parse_trace_level(""), std::invalid_argument);
+}
+
+TEST(TracerTest, DisabledTracerEmitsNothing) {
+  Tracer tracer;  // default-constructed = disabled
+  EXPECT_FALSE(tracer.enabled(TraceLevel::kRound));
+  EXPECT_FALSE(tracer.enabled(TraceLevel::kDebug));
+  tracer.emit(TraceLevel::kRound, "round_start", {{"round", 0}});
+  tracer.flush();
+  EXPECT_EQ(tracer.event_count(), 0U);
+}
+
+TEST(TracerTest, LevelFilter) {
+  MemoryTrace trace(TraceLevel::kRound);
+  EXPECT_TRUE(trace.tracer->enabled(TraceLevel::kRound));
+  EXPECT_FALSE(trace.tracer->enabled(TraceLevel::kDecision));
+  EXPECT_FALSE(trace.tracer->enabled(TraceLevel::kOff));
+  trace.tracer->emit(TraceLevel::kRound, "keep", {});
+  trace.tracer->emit(TraceLevel::kDecision, "drop", {});
+  trace.tracer->emit(TraceLevel::kDebug, "drop", {});
+  EXPECT_EQ(trace.tracer->event_count(), 1U);
+  const auto lines = lines_of(trace.text());
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_NE(lines[0].find("\"event\":\"keep\""), std::string::npos);
+}
+
+TEST(TracerTest, FieldTypesSerializeExactly) {
+  MemoryTrace trace(TraceLevel::kDebug);
+  trace.tracer->emit(TraceLevel::kRound, "typed",
+                     {{"i", -3},
+                      {"u", std::size_t{7}},
+                      {"d", 0.5},
+                      {"b", true},
+                      {"s", "text"}});
+  const auto lines = lines_of(trace.text());
+  ASSERT_EQ(lines.size(), 1U);
+  expect_valid_json_object(lines[0]);
+  EXPECT_EQ(lines[0],
+            "{\"seq\":0,\"event\":\"typed\",\"i\":-3,\"u\":7,\"d\":0.5,"
+            "\"b\":true,\"s\":\"text\"}");
+}
+
+TEST(TracerTest, NonFiniteDoublesBecomeNull) {
+  MemoryTrace trace(TraceLevel::kDebug);
+  trace.tracer->emit(TraceLevel::kRound, "edge",
+                     {{"inf", std::numeric_limits<double>::infinity()},
+                      {"nan", std::nan("")}});
+  const auto lines = lines_of(trace.text());
+  ASSERT_EQ(lines.size(), 1U);
+  expect_valid_json_object(lines[0]);
+  EXPECT_NE(lines[0].find("\"inf\":null"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"nan\":null"), std::string::npos);
+}
+
+TEST(TracerTest, StringsAreEscaped) {
+  MemoryTrace trace(TraceLevel::kDebug);
+  trace.tracer->emit(TraceLevel::kRound, "esc",
+                     {{"s", "a\"b\\c\nd\te"}});
+  const auto lines = lines_of(trace.text());
+  ASSERT_EQ(lines.size(), 1U);
+  expect_valid_json_object(lines[0]);
+  EXPECT_NE(lines[0].find("a\\\"b\\\\c\\nd\\te"), std::string::npos);
+}
+
+TEST(TracerTest, DoubleRoundTripsThroughShortestForm) {
+  MemoryTrace trace(TraceLevel::kDebug);
+  const double value = 0.0722606142270555;
+  trace.tracer->emit(TraceLevel::kRound, "rt", {{"v", value}});
+  const auto lines = lines_of(trace.text());
+  ASSERT_EQ(lines.size(), 1U);
+  const std::size_t at = lines[0].find("\"v\":");
+  ASSERT_NE(at, std::string::npos);
+  const std::string digits =
+      lines[0].substr(at + 4, lines[0].size() - (at + 4) - 1);
+  EXPECT_EQ(std::stod(digits), value);  // std::to_chars is round-trip exact
+}
+
+TEST(TracerTest, ConcurrentEmitKeepsLinesAtomicAndSeqOrdered) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 200;
+  MemoryTrace trace(TraceLevel::kDebug);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        trace.tracer->emit(TraceLevel::kDecision, "spam",
+                           {{"thread", t}, {"i", i}, {"pi", 3.14159}});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(trace.tracer->event_count(), kThreads * kPerThread);
+  const auto lines = lines_of(trace.text());
+  ASSERT_EQ(lines.size(), kThreads * kPerThread);
+  // seq order == file order: every line is written while holding the sink
+  // mutex that also assigns its seq.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    expect_valid_json_object(lines[i]);
+    const std::string prefix = "{\"seq\":" + std::to_string(i) + ",";
+    EXPECT_EQ(lines[i].compare(0, prefix.size(), prefix), 0) << lines[i];
+  }
+}
+
+TEST(ScopedSpanTest, NullProfilerIsInert) {
+  ScopedSpan span(nullptr, "nothing");
+  span.finish();  // no crash, nothing recorded anywhere
+}
+
+TEST(PhaseProfilerTest, RecordsSpansAndSummarizes) {
+  PhaseProfiler profiler;
+  profiler.record("selection", 0, -1, 0, 1000, 0, TraceLevel::kRound);
+  profiler.record("selection", 1, -1, 2000, 3000, 0, TraceLevel::kRound);
+  profiler.record("client", 0, 4, 100, 500, 1, TraceLevel::kDebug);
+  EXPECT_EQ(profiler.span_count(), 3U);
+
+  const auto summary = profiler.summary();
+  ASSERT_EQ(summary.size(), 2U);
+  // Sorted by descending total time: selection 4ms > client 0.5ms.
+  EXPECT_EQ(summary[0].phase, "selection");
+  EXPECT_EQ(summary[0].count, 2U);
+  EXPECT_DOUBLE_EQ(summary[0].total_s, 0.004);
+  EXPECT_DOUBLE_EQ(summary[0].min_s, 0.001);
+  EXPECT_DOUBLE_EQ(summary[0].max_s, 0.003);
+  EXPECT_DOUBLE_EQ(summary[0].mean_s(), 0.002);
+  EXPECT_EQ(summary[1].phase, "client");
+
+  const std::string table = profiler.format_summary();
+  EXPECT_NE(table.find("selection"), std::string::npos);
+  EXPECT_NE(table.find("client"), std::string::npos);
+}
+
+TEST(PhaseProfilerTest, ScopedSpanRecordsElapsedTime) {
+  PhaseProfiler profiler;
+  { ScopedSpan span = profiler.span("work", 3); }
+  ASSERT_EQ(profiler.span_count(), 1U);
+  const auto summary = profiler.summary();
+  ASSERT_EQ(summary.size(), 1U);
+  EXPECT_EQ(summary[0].phase, "work");
+  EXPECT_GE(summary[0].total_s, 0.0);
+}
+
+TEST(PhaseProfilerTest, MirrorsSpansIntoTracerAtSpanLevel) {
+  MemoryTrace trace(TraceLevel::kRound);
+  PhaseProfiler profiler(trace.tracer.get());
+  { ScopedSpan span = profiler.span("selection", 0); }
+  { ScopedSpan span = profiler.span("client", 0, 7, TraceLevel::kDebug); }
+  // Only the kRound span passes the filter of a kRound tracer.
+  EXPECT_EQ(trace.tracer->event_count(), 1U);
+  const auto lines = lines_of(trace.text());
+  ASSERT_EQ(lines.size(), 1U);
+  expect_valid_json_object(lines[0]);
+  EXPECT_NE(lines[0].find("\"event\":\"phase\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"phase\":\"selection\""), std::string::npos);
+}
+
+TEST(PhaseProfilerTest, WritesChromeTrace) {
+  PhaseProfiler profiler;
+  profiler.record("selection", 0, -1, 10, 20, 0, TraceLevel::kRound);
+  profiler.record("client", 0, 3, 15, 5, 2, TraceLevel::kDebug);
+  const std::string path = ::testing::TempDir() + "helcfl_chrome_trace.json";
+  profiler.write_chrome_trace(path);
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text(1 << 12, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), file));
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"selection\""), std::string::npos);
+  EXPECT_NE(text.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(RegistryTest, CountersAndGauges) {
+  Registry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.counter("clients.crashed"), 0U);
+  EXPECT_FALSE(registry.gauge("delay.cum_s").has_value());
+
+  registry.add("clients.crashed");
+  registry.add("clients.crashed", 2);
+  registry.add("uploads.retries", 5);
+  registry.set_gauge("delay.cum_s", 12.5);
+  registry.set_gauge("delay.cum_s", 42.0);  // overwrite
+
+  EXPECT_FALSE(registry.empty());
+  EXPECT_EQ(registry.counter("clients.crashed"), 3U);
+  EXPECT_EQ(registry.counter("uploads.retries"), 5U);
+  EXPECT_DOUBLE_EQ(registry.gauge("delay.cum_s").value(), 42.0);
+
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 2U);
+  EXPECT_EQ(counters[0].first, "clients.crashed");  // sorted by name
+  EXPECT_EQ(counters[1].first, "uploads.retries");
+
+  const std::string table = registry.format_table();
+  EXPECT_NE(table.find("clients.crashed"), std::string::npos);
+  EXPECT_NE(table.find("delay.cum_s"), std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentAddsAreLossless) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 1000;
+  Registry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (std::size_t i = 0; i < kPerThread; ++i) registry.add("hits");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("hits"), kThreads * kPerThread);
+}
+
+TEST(RegistryTest, EmitsOneEventPerEntry) {
+  Registry registry;
+  registry.add("a.count", 3);
+  registry.add("b.count", 1);
+  registry.set_gauge("c.value", 1.5);
+
+  MemoryTrace trace(TraceLevel::kRound);
+  registry.emit_to(*trace.tracer);
+  EXPECT_EQ(trace.tracer->event_count(), 3U);
+  const auto lines = lines_of(trace.text());
+  ASSERT_EQ(lines.size(), 3U);
+  for (const auto& line : lines) expect_valid_json_object(line);
+  EXPECT_NE(lines[0].find("\"event\":\"counter\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"event\":\"gauge\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace helcfl::obs
