@@ -3,6 +3,7 @@
 // layers, softmax cross-entropy, and a full MLP/CNN training step.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/loss.h"
@@ -33,7 +34,7 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_GemmABt(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -97,11 +98,19 @@ void BM_Conv2DTrainStep(benchmark::State& state) {
   x.fill_normal(rng, 0.0F, 1.0F);
   Tensor dy(Shape{8, 8, 8, 8});
   dy.fill(0.01F);
+  // Warm-up sizes the im2col scratch; the timed loop must then run
+  // allocation-free (the no-alloc steady-state contract, docs/KERNELS.md).
+  conv.zero_grad();
+  conv.backward(conv.forward(x, true));
+  const std::uint64_t reallocs_before = tensor::scratch_realloc_count();
   for (auto _ : state) {
     conv.zero_grad();
     Tensor y = conv.forward(x, true);
     Tensor dx = conv.backward(dy);
     benchmark::DoNotOptimize(dx.data().data());
+  }
+  if (tensor::scratch_realloc_count() != reallocs_before) {
+    state.SkipWithError("scratch grew during steady-state Conv2D training");
   }
 }
 BENCHMARK(BM_Conv2DTrainStep);
@@ -161,3 +170,5 @@ void BM_ExtractLoadParameters(benchmark::State& state) {
 BENCHMARK(BM_ExtractLoadParameters);
 
 }  // namespace
+
+HELCFL_BENCH_JSON_MAIN("BENCH_micro_kernels.json")

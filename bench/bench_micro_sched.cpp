@@ -4,6 +4,8 @@
 // so they must stay far below the simulated round times (seconds).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "core/dvfs.h"
 #include "core/greedy_decay_selection.h"
 #include "core/helcfl_scheduler.h"
@@ -105,3 +107,5 @@ void BM_FedAvg(benchmark::State& state) {
 BENCHMARK(BM_FedAvg)->Arg(13002)->Arg(1250000);  // our MLP / SqueezeNet-scale
 
 }  // namespace
+
+HELCFL_BENCH_JSON_MAIN("BENCH_micro_sched.json")

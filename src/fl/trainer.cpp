@@ -174,7 +174,8 @@ TrainingHistory FederatedTrainer::run() {
 
   if (tracer != nullptr && tracer->enabled(obs::TraceLevel::kRound)) {
     tracer->emit(obs::TraceLevel::kRound, "run_start",
-                 {{"strategy", strategy_.name()},
+                 {{"schema", std::size_t{1}},
+                  {"strategy", strategy_.name()},
                   {"users", users_.size()},
                   {"max_rounds", options_.max_rounds},
                   {"threads", pool.worker_count() == 0 ? std::size_t{1}

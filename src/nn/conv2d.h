@@ -1,7 +1,8 @@
-// 2-D convolution over NCHW activations (direct algorithm).
+// 2-D convolution over NCHW activations (im2col + GEMM algorithm).
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "nn/layer.h"
 
@@ -14,6 +15,13 @@ namespace helcfl::nn {
 /// Convolution layer.  Input [N, in_ch, H, W]; weight
 /// [out_ch, in_ch, k, k]; output [N, out_ch, H_out, W_out] with
 /// H_out = (H + 2*pad - k) / stride + 1.
+///
+/// Forward and backward lower each sample to GEMM (docs/KERNELS.md): the
+/// receptive fields are unrolled into a column matrix [in_ch*k*k,
+/// H_out*W_out] (im2col), the weight acts as [out_ch, in_ch*k*k], and the
+/// bias is fused into the GEMM store pass.  The column scratch is cached
+/// per layer and sized to the last shape, so steady-state forwards and
+/// backwards allocate nothing beyond their output tensors.
 class Conv2D : public Layer {
  public:
   /// He-initializes the kernel with `rng`; bias starts at zero.
@@ -35,6 +43,17 @@ class Conv2D : public Layer {
   std::size_t output_extent(std::size_t input_extent) const;
 
  private:
+  /// Unrolls one input sample [in_ch, h_in, w_in] into columns
+  /// [in_ch*k*k, h_out*w_out]; out-of-image (padding) taps become zeros.
+  void im2col(const float* src, std::size_t h_in, std::size_t w_in,
+              std::size_t h_out, std::size_t w_out, float* dst) const;
+
+  /// Adjoint of im2col: accumulates columns back into one gradient sample
+  /// [in_ch, h_in, w_in] (which must be zero-initialized by the caller for
+  /// the first accumulation).
+  void col2im(const float* src, std::size_t h_in, std::size_t w_in,
+              std::size_t h_out, std::size_t w_out, float* dst) const;
+
   std::size_t in_channels_;
   std::size_t out_channels_;
   std::size_t kernel_;
@@ -45,6 +64,10 @@ class Conv2D : public Layer {
   tensor::Tensor grad_weight_;
   tensor::Tensor grad_bias_;
   tensor::Tensor cached_input_;
+  // Per-layer scratch, grown to the largest shape seen and then reused
+  // (tensor::scratch_realloc_count() audits steady-state behaviour).
+  std::vector<float> col_;       // im2col panel [in*k*k, h_out*w_out]
+  std::vector<float> col_grad_;  // backward column gradients, same extent
 };
 
 }  // namespace helcfl::nn

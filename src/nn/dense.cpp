@@ -42,12 +42,10 @@ Tensor Dense::forward(const Tensor& input, bool training) {
   }
   const std::size_t batch = input.shape()[0];
   Tensor output(Shape{batch, out_features_});
-  // output[b, o] = sum_i input[b, i] * weight[o, i] + bias[o]
-  tensor::gemm_a_bt(batch, in_features_, out_features_, input.data(), weight_.data(),
-                    output.data());
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t o = 0; o < out_features_; ++o) output.at(b, o) += bias_[o];
-  }
+  // output[b, o] = sum_i input[b, i] * weight[o, i] + bias[o]; the bias is
+  // applied in the GEMM's store pass (no second sweep over the output).
+  tensor::gemm_a_bt_bias_cols(batch, in_features_, out_features_, input.data(),
+                              weight_.data(), bias_.data(), output.data());
   if (training) cached_input_ = input;
   return output;
 }
@@ -57,16 +55,16 @@ Tensor Dense::backward(const Tensor& grad_output) {
   const std::size_t batch = cached_input_.shape()[0];
   assert(grad_output.shape() == Shape({batch, out_features_}));
 
-  // grad_weight[o, i] += sum_b grad_output[b, o] * input[b, i]
-  Tensor gw(Shape{out_features_, in_features_});
-  tensor::gemm_at_b(out_features_, batch, in_features_, grad_output.data(),
-                    cached_input_.data(), gw.data());
-  tensor::add_inplace(grad_weight_.data(), gw.data());
+  // grad_weight[o, i] += sum_b grad_output[b, o] * input[b, i], accumulated
+  // straight into the parameter gradient (no temporary).
+  tensor::gemm_at_b_accumulate(out_features_, batch, in_features_,
+                               grad_output.data(), cached_input_.data(),
+                               grad_weight_.data());
 
+  const float* g = grad_output.data().data();
   for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      grad_bias_[o] += grad_output.at(b, o);
-    }
+    const float* g_row = g + b * out_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) grad_bias_[o] += g_row[o];
   }
 
   // grad_input[b, i] = sum_o grad_output[b, o] * weight[o, i]

@@ -27,15 +27,23 @@ LossResult softmax_cross_entropy(const Tensor& logits,
 
   double total_nll = 0.0;
   const float inv_batch = 1.0F / static_cast<float>(batch);
+  // Contiguous row pointers keep these loops vectorizable; the log-sum-exp
+  // reduction stays in double (accumulation policy, tensor/ops.h).
+  const float* logit_rows = logits.data().data();
+  float* prob_rows = result.probabilities.data().data();
+  float* grad_rows = result.grad_logits.data().data();
   for (std::size_t b = 0; b < batch; ++b) {
     const auto label = static_cast<std::size_t>(labels[b]);
     assert(labels[b] >= 0 && label < classes);
+    const float* logit = logit_rows + b * classes;
+    float* prob = prob_rows + b * classes;
+    float* grad = grad_rows + b * classes;
 
-    float max_logit = logits.at(b, 0);
+    float max_logit = logit[0];
     std::size_t argmax = 0;
     for (std::size_t c = 1; c < classes; ++c) {
-      if (logits.at(b, c) > max_logit) {
-        max_logit = logits.at(b, c);
+      if (logit[c] > max_logit) {
+        max_logit = logit[c];
         argmax = c;
       }
     }
@@ -43,18 +51,17 @@ LossResult softmax_cross_entropy(const Tensor& logits,
 
     double denom = 0.0;
     for (std::size_t c = 0; c < classes; ++c) {
-      denom += std::exp(static_cast<double>(logits.at(b, c) - max_logit));
+      denom += std::exp(static_cast<double>(logit[c] - max_logit));
     }
     const double log_denom = std::log(denom);
     for (std::size_t c = 0; c < classes; ++c) {
-      const double log_p =
-          static_cast<double>(logits.at(b, c) - max_logit) - log_denom;
+      const double log_p = static_cast<double>(logit[c] - max_logit) - log_denom;
       const auto p = static_cast<float>(std::exp(log_p));
-      result.probabilities.at(b, c) = p;
-      result.grad_logits.at(b, c) = p * inv_batch;
+      prob[c] = p;
+      grad[c] = p * inv_batch;
       if (c == label) total_nll -= log_p;
     }
-    result.grad_logits.at(b, label) -= inv_batch;
+    grad[label] -= inv_batch;
   }
   result.loss = total_nll / static_cast<double>(batch);
   return result;
@@ -65,10 +72,12 @@ std::size_t count_correct(const Tensor& logits, std::span<const std::int32_t> la
   const std::size_t batch = logits.shape()[0];
   const std::size_t classes = logits.shape()[1];
   std::size_t correct = 0;
+  const float* rows = logits.data().data();
   for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = rows + b * classes;
     std::size_t argmax = 0;
     for (std::size_t c = 1; c < classes; ++c) {
-      if (logits.at(b, c) > logits.at(b, argmax)) argmax = c;
+      if (row[c] > row[argmax]) argmax = c;
     }
     if (argmax == static_cast<std::size_t>(labels[b])) ++correct;
   }

@@ -1,0 +1,58 @@
+// Kernel dispatch and scratch accounting (tensor/gemm_kernel.h).
+#include "tensor/gemm_kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace helcfl::tensor::detail {
+namespace {
+
+std::atomic<std::uint64_t> g_scratch_reallocs{0};
+
+struct Resolved {
+  GemmFn fn;
+  std::string_view isa;
+};
+
+/// Picks the widest kernel the CPU supports, once per process.  The choice
+/// is a pure function of CPUID and the environment, so every thread (and
+/// every call) in a run executes the same kernel — results are bitwise
+/// deterministic within a machine.  HELCFL_KERNEL_ISA=generic pins the
+/// portable kernel when bit-reproducibility across machines matters more
+/// than speed (docs/KERNELS.md).
+Resolved resolve() {
+  const char* pin = std::getenv("HELCFL_KERNEL_ISA");
+  const bool force_generic =
+      pin != nullptr && std::string_view(pin) == "generic";
+#if defined(HELCFL_HAVE_AVX2_KERNELS)
+  if (!force_generic && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    return {&gemm_avx2, "avx2_fma"};
+  }
+#else
+  (void)force_generic;
+#endif
+  return {&gemm_generic, "generic"};
+}
+
+const Resolved& resolved() {
+  static const Resolved r = resolve();
+  return r;
+}
+
+}  // namespace
+
+GemmFn active_kernel() { return resolved().fn; }
+
+std::string_view kernel_isa() { return resolved().isa; }
+
+std::uint64_t scratch_reallocs() {
+  return g_scratch_reallocs.load(std::memory_order_relaxed);
+}
+
+void note_scratch_realloc() {
+  g_scratch_reallocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace helcfl::tensor::detail

@@ -1,0 +1,75 @@
+// Internal GEMM kernel layer (`helcfl::tensor::detail`).
+//
+// The public entry points in tensor/ops.h all lower to one descriptor,
+// `GemmArgs`, dispatched to a register-blocked, cache-tiled driver
+// (gemm_kernel.inl).  The driver is compiled once per instruction set the
+// build supports — a portable baseline TU and, on x86-64 with GCC/Clang,
+// an AVX2+FMA TU built with per-file -m flags — and the fastest kernel the
+// running CPU supports is resolved exactly once per process, so every call
+// in a run (and every worker thread) executes the same instruction
+// sequence.  docs/KERNELS.md documents the tiling scheme, the accumulation
+// policy, and the determinism contract.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace helcfl::tensor::detail {
+
+/// One C = op(A)·op(B) [+ C] [+ bias] problem over row-major storage.
+struct GemmArgs {
+  std::size_t m = 0;  ///< rows of op(A) and C
+  std::size_t k = 0;  ///< inner (reduction) dimension
+  std::size_t n = 0;  ///< columns of op(B) and C
+  const float* a = nullptr;  ///< [m,k], or [k,m] when trans_a
+  const float* b = nullptr;  ///< [k,n], or [n,k] when trans_b
+  float* c = nullptr;        ///< [m,n]; must not alias a or b
+  /// Optional fused bias: [m] broadcast across each row, or [n] broadcast
+  /// down each column when bias_per_col.  Requires !accumulate.
+  const float* bias = nullptr;
+  bool bias_per_col = false;
+  bool trans_a = false;
+  bool trans_b = false;
+  bool accumulate = false;  ///< C += product instead of C = product
+};
+
+using GemmFn = void (*)(const GemmArgs&);
+
+/// Portable driver: 4x8 micro-tiles, whatever SIMD the base -march allows.
+void gemm_generic(const GemmArgs& args);
+
+#if defined(HELCFL_HAVE_AVX2_KERNELS)
+/// Same driver compiled with -mavx2 -mfma and 6x16 micro-tiles.
+void gemm_avx2(const GemmArgs& args);
+#endif
+
+/// The kernel this process dispatches to.  Resolved once (thread-safe) from
+/// CPUID; `HELCFL_KERNEL_ISA=generic` in the environment pins the portable
+/// kernel for cross-machine bit-reproducibility.
+GemmFn active_kernel();
+
+/// Name of the resolved kernel: "avx2_fma" or "generic".
+std::string_view kernel_isa();
+
+/// Process-wide count of scratch-buffer growths (GEMM packing panels and
+/// layer im2col buffers).  In steady state — repeated calls with shapes no
+/// larger than already seen — this must not advance; tests and the micro
+/// benches assert it.
+std::uint64_t scratch_reallocs();
+
+/// Records one scratch growth (used by ensure_scratch and the nn layers).
+void note_scratch_realloc();
+
+/// Grows `buf` to at least `need` floats, counting the reallocation.
+/// Never shrinks, so steady-state calls are allocation-free.
+inline void ensure_scratch(std::vector<float>& buf, std::size_t need) {
+  if (buf.size() < need) {
+    buf.resize(need);
+    note_scratch_realloc();
+  }
+}
+
+}  // namespace helcfl::tensor::detail

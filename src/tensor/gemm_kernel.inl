@@ -1,0 +1,214 @@
+// Blocked GEMM driver, included once per instruction-set TU.
+//
+// The including .cpp must define:
+//   HELCFL_KERNEL_FN  — name of the driver function to emit
+//   HELCFL_KERNEL_MR  — micro-tile rows (accumulator rows held in registers)
+//   HELCFL_KERNEL_NR  — micro-tile columns (must span >= one SIMD vector)
+//   HELCFL_KERNEL_VW  — SIMD vector width in floats (divides NR)
+//
+// Design (docs/KERNELS.md):
+//   * Loop nest kb -> mb -> j0 -> i0: k is cut into kKc blocks, m into kMc
+//     blocks; inside a block the B panel (kc x kNr, L1-resident) is reused
+//     by every A panel (kc x kMr).
+//   * A and B are packed into zero-padded panels so the micro-kernel always
+//     runs full kMr x kNr tiles with unit-stride loads — the packing
+//     routines absorb both transposes, so all four public GEMM variants
+//     share this one inner loop.
+//   * The micro-kernel holds its accumulator tile in GCC/Clang portable
+//     vector types (__attribute__((vector_size))) — element-wise IEEE
+//     arithmetic the compiler lowers to whatever SIMD the TU's -m flags
+//     allow (or scalar code on targets without it).  No intrinsics, no
+//     headers, no dependencies; a plain-array fallback covers other
+//     compilers.  Plain float arrays were measured first and rejected: GCC
+//     refuses scalar replacement of a 6x16 tile, spilling every
+//     accumulator to the stack (2.4 GFLOP/s vs 68 with vector types).
+//   * Accumulation policy: float accumulators, ascending-k order within a
+//     k-block, k-blocks folded into C in ascending order.  For fixed shapes
+//     the reduction order is fixed, so results are bitwise deterministic
+//     for a given kernel (thread count and tracing never change it).
+//   * Packing panels live in thread_local buffers that only ever grow
+//     (ensure_scratch), so steady-state calls are allocation-free and
+//     worker threads never share scratch.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "tensor/gemm_kernel.h"
+
+namespace helcfl::tensor::detail {
+namespace {
+
+constexpr std::size_t kMr = HELCFL_KERNEL_MR;
+constexpr std::size_t kNr = HELCFL_KERNEL_NR;
+constexpr std::size_t kKc = 256;  // k-block: B panel = kKc*kNr floats (L1)
+constexpr std::size_t kMc = 96;   // m-block: packed A = kMc*kKc floats (L2)
+
+struct PackBuffers {
+  std::vector<float> a;
+  std::vector<float> b;
+};
+
+PackBuffers& pack_buffers() {
+  thread_local PackBuffers buffers;
+  return buffers;
+}
+
+/// Packs A(mb:mb+mc, kb:kb+kc) into consecutive kMr-row panels.  Panel i0
+/// stores element (ii, p) at [p*kMr + ii]; rows past m are zero so the
+/// micro-kernel needs no row tail cases.  trans_a reads A stored [k, m].
+void pack_a_block(const GemmArgs& g, std::size_t mb, std::size_t mc,
+                  std::size_t kb, std::size_t kc, float* __restrict__ dst) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
+    const std::size_t mr = std::min(kMr, mc - i0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      const std::size_t kk = kb + p;
+      float* __restrict__ col = dst + p * kMr;
+      for (std::size_t ii = 0; ii < mr; ++ii) {
+        const std::size_t row = mb + i0 + ii;
+        col[ii] = g.trans_a ? g.a[kk * g.m + row] : g.a[row * g.k + kk];
+      }
+      for (std::size_t ii = mr; ii < kMr; ++ii) col[ii] = 0.0F;
+    }
+    dst += kc * kMr;
+  }
+}
+
+/// Packs B(kb:kb+kc, 0:n) into consecutive kNr-column panels.  Panel j0
+/// stores element (p, jj) at [p*kNr + jj]; columns past n are zero.
+/// trans_b reads B stored [n, k].
+void pack_b_block(const GemmArgs& g, std::size_t kb, std::size_t kc,
+                  float* __restrict__ dst) {
+  for (std::size_t j0 = 0; j0 < g.n; j0 += kNr) {
+    const std::size_t nr = std::min(kNr, g.n - j0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      float* __restrict__ row = dst + p * kNr;
+      if (g.trans_b) {
+        for (std::size_t jj = 0; jj < nr; ++jj) {
+          row[jj] = g.b[(j0 + jj) * g.k + kb + p];
+        }
+      } else {
+        const float* __restrict__ src = g.b + (kb + p) * g.n + j0;
+        for (std::size_t jj = 0; jj < nr; ++jj) row[jj] = src[jj];
+      }
+      for (std::size_t jj = nr; jj < kNr; ++jj) row[jj] = 0.0F;
+    }
+    dst += kc * kNr;
+  }
+}
+
+/// Writes tile[kMr][kNr] = A-panel * B-panel over kc steps, ascending k.
+#if defined(__GNUC__) || defined(__clang__)
+
+typedef float Vec
+    __attribute__((vector_size(HELCFL_KERNEL_VW * sizeof(float))));
+constexpr std::size_t kVw = HELCFL_KERNEL_VW;
+constexpr std::size_t kNv = kNr / kVw;  // vectors per tile row
+static_assert(kNr % kVw == 0, "NR must be a multiple of the vector width");
+
+inline void micro_kernel(std::size_t kc, const float* __restrict__ ap,
+                         const float* __restrict__ bp,
+                         float* __restrict__ tile) {
+  Vec acc[kMr][kNv] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    Vec b[kNv];
+    for (std::size_t v = 0; v < kNv; ++v) {
+      std::memcpy(&b[v], bp + p * kNr + v * kVw, sizeof(Vec));
+    }
+    const float* __restrict__ arow = ap + p * kMr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const Vec av = Vec{} + arow[i];  // broadcast
+      for (std::size_t v = 0; v < kNv; ++v) acc[i][v] += av * b[v];
+    }
+  }
+  for (std::size_t i = 0; i < kMr; ++i) {
+    for (std::size_t v = 0; v < kNv; ++v) {
+      std::memcpy(tile + i * kNr + v * kVw, &acc[i][v], sizeof(Vec));
+    }
+  }
+}
+
+#else  // fallback for compilers without vector extensions
+
+inline void micro_kernel(std::size_t kc, const float* __restrict__ ap,
+                         const float* __restrict__ bp,
+                         float* __restrict__ tile) {
+  for (std::size_t i = 0; i < kMr * kNr; ++i) tile[i] = 0.0F;
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* __restrict__ arow = ap + p * kMr;
+    const float* __restrict__ brow = bp + p * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const float av = arow[i];
+      float* __restrict__ out = tile + i * kNr;
+      for (std::size_t j = 0; j < kNr; ++j) out[j] += av * brow[j];
+    }
+  }
+}
+
+#endif
+
+}  // namespace
+
+void HELCFL_KERNEL_FN(const GemmArgs& g) {
+  if (g.m == 0 || g.n == 0) return;
+  if (g.k == 0) {
+    // No products: honour the store semantics (C = bias or 0) and leave.
+    if (g.accumulate) return;
+    for (std::size_t i = 0; i < g.m; ++i) {
+      float* row = g.c + i * g.n;
+      for (std::size_t j = 0; j < g.n; ++j) {
+        row[j] = g.bias == nullptr ? 0.0F
+                                   : (g.bias_per_col ? g.bias[j] : g.bias[i]);
+      }
+    }
+    return;
+  }
+
+  PackBuffers& bufs = pack_buffers();
+  const std::size_t n_panels = (g.n + kNr - 1) / kNr;
+  const std::size_t m_panels = (std::min(g.m, kMc) + kMr - 1) / kMr;
+  ensure_scratch(bufs.b, n_panels * kKc * kNr);
+  ensure_scratch(bufs.a, m_panels * kKc * kMr);
+
+  for (std::size_t kb = 0; kb < g.k; kb += kKc) {
+    const std::size_t kc = std::min(kKc, g.k - kb);
+    pack_b_block(g, kb, kc, bufs.b.data());
+    // First k-block overwrites C (fusing the bias); later blocks add.
+    const bool first = kb == 0 && !g.accumulate;
+    for (std::size_t mb = 0; mb < g.m; mb += kMc) {
+      const std::size_t mc = std::min(kMc, g.m - mb);
+      pack_a_block(g, mb, mc, kb, kc, bufs.a.data());
+      for (std::size_t j0 = 0; j0 < g.n; j0 += kNr) {
+        const std::size_t nr = std::min(kNr, g.n - j0);
+        const float* bp = bufs.b.data() + (j0 / kNr) * kc * kNr;
+        for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
+          const std::size_t mr = std::min(kMr, mc - i0);
+          const float* ap = bufs.a.data() + (i0 / kMr) * kc * kMr;
+          float acc[kMr * kNr];
+          micro_kernel(kc, ap, bp, acc);
+          for (std::size_t ii = 0; ii < mr; ++ii) {
+            float* __restrict__ crow = g.c + (mb + i0 + ii) * g.n + j0;
+            const float* __restrict__ arow = acc + ii * kNr;
+            if (!first) {
+              for (std::size_t jj = 0; jj < nr; ++jj) crow[jj] += arow[jj];
+            } else if (g.bias == nullptr) {
+              for (std::size_t jj = 0; jj < nr; ++jj) crow[jj] = arow[jj];
+            } else if (g.bias_per_col) {
+              for (std::size_t jj = 0; jj < nr; ++jj) {
+                crow[jj] = arow[jj] + g.bias[j0 + jj];
+              }
+            } else {
+              const float bias_i = g.bias[mb + i0 + ii];
+              for (std::size_t jj = 0; jj < nr; ++jj) {
+                crow[jj] = arow[jj] + bias_i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace helcfl::tensor::detail

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "tensor/gemm_kernel.h"
+
 namespace helcfl::tensor {
 
 void add_inplace(std::span<float> y, std::span<const float> x) {
@@ -33,63 +35,86 @@ double dot(std::span<const float> a, std::span<const float> b) {
 
 double squared_norm(std::span<const float> a) { return dot(a, a); }
 
+// Every GEMM variant below fills one detail::GemmArgs descriptor and jumps
+// through the kernel resolved at startup (generic or AVX2+FMA); the
+// packing routines absorb the transposes, so all variants share one
+// micro-kernel and one accumulation order (see ops.h header comment).
+
 void gemm(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
           std::span<const float> b, std::span<float> c) {
   assert(a.size() == m * k && b.size() == k * n && c.size() == m * n);
-  for (auto& v : c) v = 0.0F;
-  gemm_accumulate(m, k, n, a, b, c);
+  detail::GemmArgs args{.m = m, .k = k, .n = n, .a = a.data(), .b = b.data(),
+                        .c = c.data()};
+  detail::active_kernel()(args);
 }
 
 void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
                      std::span<const float> a, std::span<const float> b,
                      std::span<float> c) {
   assert(a.size() == m * k && b.size() == k * n && c.size() == m * n);
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
-  // B and C, which the compiler auto-vectorizes.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* a_row = a.data() + i * k;
-    float* c_row = c.data() + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float a_ik = a_row[kk];
-      if (a_ik == 0.0F) continue;
-      const float* b_row = b.data() + kk * n;
-      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
-    }
-  }
+  detail::GemmArgs args{.m = m, .k = k, .n = n, .a = a.data(), .b = b.data(),
+                        .c = c.data(), .accumulate = true};
+  detail::active_kernel()(args);
+}
+
+void gemm_bias_rows(std::size_t m, std::size_t k, std::size_t n,
+                    std::span<const float> a, std::span<const float> b,
+                    std::span<const float> bias, std::span<float> c) {
+  assert(a.size() == m * k && b.size() == k * n && c.size() == m * n &&
+         bias.size() == m);
+  detail::GemmArgs args{.m = m, .k = k, .n = n, .a = a.data(), .b = b.data(),
+                        .c = c.data(), .bias = bias.data()};
+  detail::active_kernel()(args);
 }
 
 void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
                std::span<const float> b, std::span<float> c) {
   assert(a.size() == k * m && b.size() == k * n && c.size() == m * n);
-  for (auto& v : c) v = 0.0F;
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* a_row = a.data() + kk * m;  // row kk of A holds column kk of A^T
-    const float* b_row = b.data() + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float a_ki = a_row[i];
-      if (a_ki == 0.0F) continue;
-      float* c_row = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
-    }
-  }
+  detail::GemmArgs args{.m = m, .k = k, .n = n, .a = a.data(), .b = b.data(),
+                        .c = c.data(), .trans_a = true};
+  detail::active_kernel()(args);
+}
+
+void gemm_at_b_accumulate(std::size_t m, std::size_t k, std::size_t n,
+                          std::span<const float> a, std::span<const float> b,
+                          std::span<float> c) {
+  assert(a.size() == k * m && b.size() == k * n && c.size() == m * n);
+  detail::GemmArgs args{.m = m, .k = k, .n = n, .a = a.data(), .b = b.data(),
+                        .c = c.data(), .trans_a = true, .accumulate = true};
+  detail::active_kernel()(args);
 }
 
 void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
                std::span<const float> b, std::span<float> c) {
   assert(a.size() == m * k && b.size() == n * k && c.size() == m * n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* a_row = a.data() + i * k;
-    float* c_row = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* b_row = b.data() + j * k;
-      double sum = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        sum += static_cast<double>(a_row[kk]) * b_row[kk];
-      }
-      c_row[j] = static_cast<float>(sum);
-    }
-  }
+  detail::GemmArgs args{.m = m, .k = k, .n = n, .a = a.data(), .b = b.data(),
+                        .c = c.data(), .trans_b = true};
+  detail::active_kernel()(args);
 }
+
+void gemm_a_bt_accumulate(std::size_t m, std::size_t k, std::size_t n,
+                          std::span<const float> a, std::span<const float> b,
+                          std::span<float> c) {
+  assert(a.size() == m * k && b.size() == n * k && c.size() == m * n);
+  detail::GemmArgs args{.m = m, .k = k, .n = n, .a = a.data(), .b = b.data(),
+                        .c = c.data(), .trans_b = true, .accumulate = true};
+  detail::active_kernel()(args);
+}
+
+void gemm_a_bt_bias_cols(std::size_t m, std::size_t k, std::size_t n,
+                         std::span<const float> a, std::span<const float> b,
+                         std::span<const float> bias, std::span<float> c) {
+  assert(a.size() == m * k && b.size() == n * k && c.size() == m * n &&
+         bias.size() == n);
+  detail::GemmArgs args{.m = m, .k = k, .n = n, .a = a.data(), .b = b.data(),
+                        .c = c.data(), .bias = bias.data(),
+                        .bias_per_col = true, .trans_b = true};
+  detail::active_kernel()(args);
+}
+
+std::string_view kernel_isa() { return detail::kernel_isa(); }
+
+std::uint64_t scratch_realloc_count() { return detail::scratch_reallocs(); }
 
 namespace {
 void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {

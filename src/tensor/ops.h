@@ -2,9 +2,22 @@
 //
 // Layers in src/nn call these instead of hand-rolling loops so the hot
 // paths live in one place (and are covered by the micro-benchmarks).
+//
+// All GEMM variants run on the register-blocked, cache-tiled driver in
+// tensor/gemm_kernel.inl (docs/KERNELS.md).  Accumulation policy: every
+// variant accumulates in float, in a fixed ascending-k order (k-blocks of
+// 256 folded into C in ascending order), independent of thread count,
+// tracing, and call history — so results are bitwise deterministic for a
+// given machine.  Expected rounding error against an exact product is
+// O(k) ulp; the layer gradchecks budget for it with tolerances >= 1e-2.
+// The non-GEMM reductions (dot, squared_norm) accumulate in double, as
+// does softmax_cross_entropy's log-sum-exp: they feed metrics and loss
+// values where drift across long sums would be visible.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <string_view>
 
 #include "tensor/tensor.h"
 
@@ -37,13 +50,48 @@ void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
                      std::span<const float> a, std::span<const float> b,
                      std::span<float> c);
 
+/// C[M,N] = A[M,K] * B[K,N] + bias[i] broadcast across row i.  The bias
+/// lands in the kernel's store pass (no second sweep over C); Conv2D's
+/// im2col forward uses it with bias = per-output-channel.
+void gemm_bias_rows(std::size_t m, std::size_t k, std::size_t n,
+                    std::span<const float> a, std::span<const float> b,
+                    std::span<const float> bias, std::span<float> c);
+
 /// C[M,N] = A^T[M,K] * B[K,N] where A is stored as [K,M].
 void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
                std::span<const float> b, std::span<float> c);
 
+/// C[M,N] += A^T[M,K] * B[K,N] where A is stored as [K,M] (Dense
+/// grad_weight accumulation).
+void gemm_at_b_accumulate(std::size_t m, std::size_t k, std::size_t n,
+                          std::span<const float> a, std::span<const float> b,
+                          std::span<float> c);
+
 /// C[M,N] = A[M,K] * B^T[K,N] where B is stored as [N,K].
 void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, std::span<const float> a,
                std::span<const float> b, std::span<float> c);
+
+/// C[M,N] += A[M,K] * B^T[K,N] where B is stored as [N,K] (Conv2D
+/// grad_weight accumulation over im2col panels).
+void gemm_a_bt_accumulate(std::size_t m, std::size_t k, std::size_t n,
+                          std::span<const float> a, std::span<const float> b,
+                          std::span<float> c);
+
+/// C[M,N] = A[M,K] * B^T[K,N] + bias[j] broadcast down column j, with B
+/// stored as [N,K].  Dense forward: y = x W^T + b fused in one pass.
+void gemm_a_bt_bias_cols(std::size_t m, std::size_t k, std::size_t n,
+                         std::span<const float> a, std::span<const float> b,
+                         std::span<const float> bias, std::span<float> c);
+
+/// Name of the GEMM kernel this process resolved to ("avx2_fma" or
+/// "generic").  Set HELCFL_KERNEL_ISA=generic to pin the portable kernel
+/// when bitwise reproducibility across machines matters more than speed.
+std::string_view kernel_isa();
+
+/// Process-wide count of kernel/layer scratch-buffer growths.  Constant in
+/// steady state (shapes no larger than already seen); the micro benches
+/// and tests assert no growth in their hot loops.
+std::uint64_t scratch_realloc_count();
 
 /// Elementwise tensor sum; shapes must match.
 Tensor add(const Tensor& a, const Tensor& b);

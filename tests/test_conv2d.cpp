@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "gradcheck.h"
 #include "nn/serialize.h"
+#include "tensor/ops.h"
 #include "util/rng.h"
 
 namespace helcfl::nn {
@@ -119,6 +123,111 @@ TEST(Conv2D, GradientCheck1x1) {
   util::Rng rng(13);
   Conv2D conv(3, 2, 1, 1, 0, rng);
   testing::check_gradients(conv, testing::random_input(Shape{2, 3, 3, 3}, 14));
+}
+
+// ---------------------------------------------------------------------------
+// im2col + GEMM against a direct 7-loop convolution reference.
+
+/// Naive direct convolution: the definition the GEMM lowering must match.
+Tensor direct_conv(const Tensor& x, std::span<const float> weight,
+                   std::span<const float> bias, std::size_t in_ch,
+                   std::size_t out_ch, std::size_t k, std::size_t stride,
+                   std::size_t pad) {
+  const std::size_t batch = x.shape()[0];
+  const std::size_t h_in = x.shape()[2];
+  const std::size_t w_in = x.shape()[3];
+  const std::size_t h_out = (h_in + 2 * pad - k) / stride + 1;
+  const std::size_t w_out = (w_in + 2 * pad - k) / stride + 1;
+  Tensor y(Shape{batch, out_ch, h_out, w_out});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_ch; ++oc) {
+      for (std::size_t oy = 0; oy < h_out; ++oy) {
+        for (std::size_t ox = 0; ox < w_out; ++ox) {
+          double sum = bias[oc];
+          for (std::size_t ic = 0; ic < in_ch; ++ic) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::size_t iy = oy * stride + ky;
+                const std::size_t ix = ox * stride + kx;
+                if (iy < pad || ix < pad) continue;
+                if (iy - pad >= h_in || ix - pad >= w_in) continue;
+                sum += static_cast<double>(x.at(n, ic, iy - pad, ix - pad)) *
+                       weight[((oc * in_ch + ic) * k + ky) * k + kx];
+              }
+            }
+          }
+          y.at(n, oc, oy, ox) = static_cast<float>(sum);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+struct ConvConfig {
+  std::size_t in_ch, out_ch, k, stride, pad, h, w, batch;
+};
+
+TEST(Conv2D, MatchesDirectConvolutionReference) {
+  const ConvConfig configs[] = {
+      {1, 1, 3, 1, 0, 5, 5, 1},   // minimal valid conv
+      {3, 8, 3, 1, 1, 8, 8, 2},   // same-padding, multi-channel, batch
+      {2, 4, 3, 2, 1, 9, 7, 2},   // stride 2, non-square input
+      {2, 3, 5, 1, 2, 7, 10, 1},  // large kernel, padding 2, non-square
+      {4, 2, 1, 1, 0, 6, 6, 3},   // 1x1 pointwise
+      {1, 2, 3, 3, 1, 11, 8, 1},  // stride 3
+  };
+  std::size_t seed = 20;
+  for (const ConvConfig& cfg : configs) {
+    util::Rng rng(seed++);
+    Conv2D conv(cfg.in_ch, cfg.out_ch, cfg.k, cfg.stride, cfg.pad, rng);
+    const std::vector<float> params = extract_parameters(conv);
+    const std::size_t wsize = cfg.out_ch * cfg.in_ch * cfg.k * cfg.k;
+    const std::span<const float> weight(params.data(), wsize);
+    const std::span<const float> bias(params.data() + wsize, cfg.out_ch);
+
+    const Tensor x =
+        testing::random_input(Shape{cfg.batch, cfg.in_ch, cfg.h, cfg.w}, seed++);
+    const Tensor got = conv.forward(x, false);
+    const Tensor want = direct_conv(x, weight, bias, cfg.in_ch, cfg.out_ch,
+                                    cfg.k, cfg.stride, cfg.pad);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-4)
+          << "mismatch at flat index " << i << " for config in_ch=" << cfg.in_ch
+          << " out_ch=" << cfg.out_ch << " k=" << cfg.k << " s=" << cfg.stride
+          << " p=" << cfg.pad << " h=" << cfg.h << " w=" << cfg.w;
+    }
+  }
+}
+
+TEST(Conv2D, GradientCheckStride2Pad2NonSquare) {
+  util::Rng rng(31);
+  Conv2D conv(2, 2, 3, 2, 2, rng);
+  testing::check_gradients(conv, testing::random_input(Shape{1, 2, 5, 7}, 32));
+}
+
+TEST(Conv2D, GradientCheckKernel5) {
+  util::Rng rng(33);
+  Conv2D conv(1, 2, 5, 1, 2, rng);
+  testing::check_gradients(conv, testing::random_input(Shape{1, 1, 6, 6}, 34));
+}
+
+TEST(Conv2D, ScratchIsReusedAcrossSteadyStateSteps) {
+  util::Rng rng(35);
+  Conv2D conv(3, 8, 3, 1, 1, rng);
+  const Tensor x = testing::random_input(Shape{2, 3, 8, 8}, 36);
+  // Warm-up grows the column scratch to this shape; afterwards repeated
+  // forward/backward passes must not reallocate it.
+  Tensor y = conv.forward(x, true);
+  conv.backward(y);
+  const std::uint64_t before = tensor::scratch_realloc_count();
+  for (int step = 0; step < 4; ++step) {
+    y = conv.forward(x, true);
+    conv.backward(y);
+  }
+  EXPECT_EQ(tensor::scratch_realloc_count(), before)
+      << "Conv2D must not allocate scratch in steady state";
 }
 
 TEST(Conv2D, OutputExtentFormula) {

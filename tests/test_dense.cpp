@@ -42,6 +42,33 @@ TEST(Dense, ComputesAffineMap) {
   EXPECT_FLOAT_EQ(y.at(0, 1), 27.0F);  // 3*1 + 4*1 + 20
 }
 
+TEST(Dense, AffineMapAtTileBoundaryCrossingShapes) {
+  // Shapes straddling the GEMM micro-tile sizes (4x8 generic, 6x16 AVX2):
+  // the fused-bias store pass must handle full and partial edge tiles alike.
+  const std::size_t shapes[][3] = {{7, 17, 33}, {1, 5, 16}, {6, 16, 1}};
+  std::size_t seed = 40;
+  for (const auto& s : shapes) {
+    const std::size_t batch = s[0], in_f = s[1], out_f = s[2];
+    util::Rng rng(seed++);
+    Dense layer(in_f, out_f, rng);
+    const std::vector<float> params = extract_parameters(layer);
+    const float* weight = params.data();            // [out_f, in_f]
+    const float* bias = params.data() + out_f * in_f;
+    const Tensor x = testing::random_input(Shape{batch, in_f}, seed++);
+    const Tensor y = layer.forward(x, false);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t o = 0; o < out_f; ++o) {
+        double want = bias[o];
+        for (std::size_t i = 0; i < in_f; ++i) {
+          want += static_cast<double>(x.at(b, i)) * weight[o * in_f + i];
+        }
+        ASSERT_NEAR(y.at(b, o), want, 1e-4)
+            << "batch=" << batch << " in=" << in_f << " out=" << out_f;
+      }
+    }
+  }
+}
+
 TEST(Dense, BiasInitializedToZero) {
   util::Rng rng(3);
   Dense layer(4, 2, rng);
