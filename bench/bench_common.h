@@ -50,13 +50,58 @@ inline sim::Observability parse_observability(int argc, char** argv) {
       args.get_bool_or("profile", false), args.get_or("chrome-trace", ""));
 }
 
+/// Shared checkpoint/resume flags (docs/CHECKPOINT.md).  Benches run
+/// several schemes, so the flags carry path *prefixes*: each scheme's
+/// checkpoint lands at `<prefix>_<scheme>.ckpt`, and a scheme resumes only
+/// when its own file already exists (a sweep interrupted halfway restarts
+/// the unfinished scheme from its last cadence point and re-skips the
+/// finished ones instantly via their final checkpoints).
+struct CheckpointFlags {
+  std::size_t every = 0;       ///< --checkpoint-every (0 = off)
+  std::string path_prefix;     ///< --checkpoint-prefix
+  std::string resume_prefix;   ///< --resume-prefix
+};
+
+/// Parses --checkpoint-every, --checkpoint-prefix (default
+/// "bench_results/ckpt" when a cadence is given), and --resume-prefix.
+inline CheckpointFlags parse_checkpoint(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  CheckpointFlags flags;
+  flags.every =
+      static_cast<std::size_t>(args.get_int_or("checkpoint-every", 0));
+  flags.path_prefix = args.get_or("checkpoint-prefix", "");
+  if (flags.every > 0 && flags.path_prefix.empty()) {
+    flags.path_prefix = csv_path("ckpt");
+  }
+  flags.resume_prefix = args.get_or("resume-prefix", "");
+  return flags;
+}
+
+/// The checkpoint file `scheme` uses under `prefix` (see CheckpointFlags).
+inline std::string scheme_checkpoint_path(const std::string& prefix,
+                                          sim::Scheme scheme) {
+  return prefix + "_" + sim::scheme_name(scheme) + ".ckpt";
+}
+
 /// Runs one scheme of the evaluation setup and logs progress.
-/// `instruments` (optional) attaches the bench's observability sinks.
+/// `instruments` (optional) attaches the bench's observability sinks;
+/// `checkpoint` (optional) enables per-scheme snapshot/resume.
 inline sim::ExperimentResult run_scheme(sim::ExperimentConfig config,
                                         sim::Scheme scheme,
-                                        const obs::Instruments& instruments = {}) {
+                                        const obs::Instruments& instruments = {},
+                                        const CheckpointFlags& checkpoint = {}) {
   config.scheme = scheme;
   config.trainer.obs = instruments;
+  if (checkpoint.every > 0 && scheme != sim::Scheme::kSl) {
+    config.trainer.checkpoint_every = checkpoint.every;
+    config.trainer.checkpoint_path =
+        scheme_checkpoint_path(checkpoint.path_prefix, scheme);
+  }
+  if (!checkpoint.resume_prefix.empty() && scheme != sim::Scheme::kSl) {
+    const std::string resume =
+        scheme_checkpoint_path(checkpoint.resume_prefix, scheme);
+    if (std::filesystem::exists(resume)) config.trainer.resume_from = resume;
+  }
   std::printf("  running %-14s ...", sim::scheme_name(scheme).c_str());
   std::fflush(stdout);
   sim::ExperimentResult result = sim::run_experiment(config);

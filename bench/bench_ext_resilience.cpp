@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace helcfl;
   const util::ArgParser args(argc, argv);
   sim::Observability observability = bench::parse_observability(argc, argv);
+  const bench::CheckpointFlags checkpoint = bench::parse_checkpoint(argc, argv);
   const auto rounds = static_cast<std::size_t>(args.get_int_or("rounds", 150));
 
   struct FaultLevel {
@@ -57,6 +58,20 @@ int main(int argc, char** argv) {
       config.trainer.retry_backoff_s = 0.5;
       config.trainer.min_clients = 3;
       config.trainer.obs = observability.instruments();
+      // Each (scheme, fault level) cell is an independent run and needs its
+      // own checkpoint file (run_scheme's per-scheme paths would collide
+      // across the three levels, and resuming a "harsh" run from a "none"
+      // checkpoint would silently mix trajectories).
+      if (checkpoint.every > 0) {
+        config.trainer.checkpoint_every = checkpoint.every;
+        config.trainer.checkpoint_path = bench::scheme_checkpoint_path(
+            checkpoint.path_prefix + "_" + level.label, scheme);
+      }
+      if (!checkpoint.resume_prefix.empty()) {
+        const std::string resume = bench::scheme_checkpoint_path(
+            checkpoint.resume_prefix + "_" + level.label, scheme);
+        if (std::filesystem::exists(resume)) config.trainer.resume_from = resume;
+      }
       const sim::ExperimentResult result = sim::run_experiment(config);
       const auto& h = result.history;
 

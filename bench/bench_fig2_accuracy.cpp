@@ -9,12 +9,17 @@
 int main(int argc, char** argv) {
   using namespace helcfl;
   sim::Observability observability = bench::parse_observability(argc, argv);
+  const bench::CheckpointFlags checkpoint = bench::parse_checkpoint(argc, argv);
   const sim::Scheme schemes[] = {sim::Scheme::kHelcfl, sim::Scheme::kClassicFl,
                                  sim::Scheme::kFedCs, sim::Scheme::kFedl,
                                  sim::Scheme::kSl};
 
   for (const bool noniid : {false, true}) {
     const char* setting = noniid ? "noniid" : "iid";
+    // Both settings sweep the same schemes: keep their checkpoints apart.
+    bench::CheckpointFlags setting_ckpt = checkpoint;
+    if (!setting_ckpt.path_prefix.empty()) setting_ckpt.path_prefix += std::string("_") + setting;
+    if (!setting_ckpt.resume_prefix.empty()) setting_ckpt.resume_prefix += std::string("_") + setting;
     std::printf("=== Fig. 2%s: accuracy vs training round (%s) ===\n",
                 noniid ? "b" : "a", noniid ? "non-IID" : "IID");
 
@@ -23,7 +28,7 @@ int main(int argc, char** argv) {
     for (const auto scheme : schemes) {
       sim::ExperimentResult result =
           bench::run_scheme(bench::evaluation_config(noniid), scheme,
-                            observability.instruments());
+                            observability.instruments(), setting_ckpt);
       sim::write_history_csv(
           bench::csv_path(std::string("fig2_") + setting + "_" + result.scheme + ".csv"),
           result.history);

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace helcfl;
   sim::Observability observability = bench::parse_observability(argc, argv);
+  const bench::CheckpointFlags checkpoint = bench::parse_checkpoint(argc, argv);
   const double iid_targets[] = {0.55, 0.62, 0.68};
   const double noniid_targets[] = {0.50, 0.58, 0.65};
 
@@ -21,15 +22,20 @@ int main(int argc, char** argv) {
 
   for (const bool noniid : {false, true}) {
     const auto& targets = noniid ? noniid_targets : iid_targets;
+    // Both settings run the same two schemes: keep their checkpoints apart.
+    bench::CheckpointFlags setting_ckpt = checkpoint;
+    const char* setting = noniid ? "_noniid" : "_iid";
+    if (!setting_ckpt.path_prefix.empty()) setting_ckpt.path_prefix += setting;
+    if (!setting_ckpt.resume_prefix.empty()) setting_ckpt.resume_prefix += setting;
     std::printf("=== Fig. 3 (%s): energy reduction via DVFS ===\n",
                 noniid ? "non-IID" : "IID");
 
     const sim::ExperimentResult with_dvfs =
         bench::run_scheme(bench::evaluation_config(noniid), sim::Scheme::kHelcfl,
-                          observability.instruments());
+                          observability.instruments(), setting_ckpt);
     const sim::ExperimentResult without_dvfs = bench::run_scheme(
         bench::evaluation_config(noniid), sim::Scheme::kHelcflNoDvfs,
-        observability.instruments());
+        observability.instruments(), setting_ckpt);
 
     std::printf("\n%-14s %14s %14s %12s\n", "desired acc", "HELCFL (J)",
                 "w/o DVFS (J)", "reduction");

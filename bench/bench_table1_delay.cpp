@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace helcfl;
   sim::Observability observability = bench::parse_observability(argc, argv);
+  const bench::CheckpointFlags checkpoint = bench::parse_checkpoint(argc, argv);
   const sim::Scheme schemes[] = {sim::Scheme::kHelcfl, sim::Scheme::kClassicFl,
                                  sim::Scheme::kFedCs, sim::Scheme::kFedl,
                                  sim::Scheme::kSl};
@@ -23,6 +24,11 @@ int main(int argc, char** argv) {
 
   for (const bool noniid : {false, true}) {
     const auto& targets = noniid ? noniid_targets : iid_targets;
+    // Both settings sweep the same schemes: keep their checkpoints apart.
+    bench::CheckpointFlags setting_ckpt = checkpoint;
+    const char* setting = noniid ? "_noniid" : "_iid";
+    if (!setting_ckpt.path_prefix.empty()) setting_ckpt.path_prefix += setting;
+    if (!setting_ckpt.resume_prefix.empty()) setting_ckpt.resume_prefix += setting;
     std::printf("=== Table I (%s): training delay to desired accuracy ===\n",
                 noniid ? "non-IID" : "IID");
 
@@ -31,7 +37,7 @@ int main(int argc, char** argv) {
     for (const auto scheme : schemes) {
       sim::ExperimentResult result =
           bench::run_scheme(bench::evaluation_config(noniid), scheme,
-                            observability.instruments());
+                            observability.instruments(), setting_ckpt);
       labels.push_back(result.scheme);
       histories.push_back(std::move(result.history));
     }

@@ -1,7 +1,7 @@
 // General-purpose experiment driver: every knob of ExperimentConfig on the
 // command line, summary on stdout, optional per-round CSV.
 //
-//   helcfl_cli [--scheme=helcfl|helcfl_nodvfs|classic|fedcs|fedl|sl]
+//   helcfl_cli [--scheme=helcfl|helcfl_nodvfs|classic|fedcs|fedl|sl|oort]
 //              [--setting=iid|noniid] [--rounds=N] [--users=N] [--seed=N]
 //              [--fraction=C] [--eta=E] [--model=mlp|logistic|small_cnn|mini_squeezenet]
 //              [--lr=F] [--local-steps=N] [--batch-size=N]
@@ -17,6 +17,8 @@
 //              [--threads=N] [--csv=path] [--quiet]
 //              [--trace-out=path] [--trace-level=round|decision|debug]
 //              [--profile] [--chrome-trace=path]
+//              [--checkpoint-every=N] [--checkpoint-path=path]
+//              [--resume-from=path]
 //
 // --threads=0 (the default) uses every hardware thread; --threads=1 forces
 // the sequential reference path.  Results are bitwise identical either way
@@ -29,6 +31,12 @@
 // end-of-run phase-timing and counter tables; --chrome-trace writes the
 // phase spans as a chrome://tracing JSON.  Tracing never perturbs the run:
 // the model trajectory is bitwise identical with or without these flags.
+//
+// Checkpoint/resume (docs/CHECKPOINT.md): --checkpoint-every=N saves a
+// snapshot every N completed rounds to --checkpoint-path (default
+// "helcfl.ckpt"; "{round}" in the path expands to the completed-round
+// count).  --resume-from continues an interrupted run; the resumed
+// trajectory is bitwise identical to one that never stopped.
 //
 // Examples:
 //   helcfl_cli --scheme=helcfl --setting=noniid --rounds=300 --csv=run.csv
@@ -102,6 +110,13 @@ int main(int argc, char** argv) {
     const std::int64_t threads = args.get_int_or("threads", 0);
     if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
     config.trainer.num_threads = static_cast<std::size_t>(threads);
+    config.trainer.checkpoint_every =
+        static_cast<std::size_t>(args.get_int_or("checkpoint-every", 0));
+    config.trainer.checkpoint_path = args.get_or("checkpoint-path", "");
+    if (config.trainer.checkpoint_every > 0 && config.trainer.checkpoint_path.empty()) {
+      config.trainer.checkpoint_path = "helcfl.ckpt";
+    }
+    config.trainer.resume_from = args.get_or("resume-from", "");
     const std::string csv_path = args.get_or("csv", "");
     if (args.get_bool_or("quiet", false)) util::set_log_level(util::LogLevel::kWarn);
 

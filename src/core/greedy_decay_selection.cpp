@@ -68,4 +68,8 @@ void GreedyDecaySelector::revoke_appearance(std::size_t user) {
 
 void GreedyDecaySelector::reset() { counters_.clear(); }
 
+void GreedyDecaySelector::restore_appearance_counts(std::vector<std::size_t> counters) {
+  counters_ = std::move(counters);
+}
+
 }  // namespace helcfl::core

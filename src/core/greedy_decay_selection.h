@@ -48,6 +48,12 @@ class GreedyDecaySelector {
   /// Clears all counters (start of a fresh training run).
   void reset();
 
+  /// Replaces the counters wholesale (checkpoint resume).  An empty vector
+  /// returns the selector to its pre-first-select() state; a non-empty one
+  /// pins the fleet size, so the next select() must see exactly
+  /// `counters.size()` users.
+  void restore_appearance_counts(std::vector<std::size_t> counters);
+
   double fraction() const { return fraction_; }
   double eta() const { return eta_; }
 

@@ -9,7 +9,9 @@
 namespace helcfl::core {
 
 HelcflScheduler::HelcflScheduler(const HelcflOptions& options)
-    : options_(options), selector_(options.fraction, options.eta) {}
+    : options_(options), selector_(options.fraction, options.eta) {
+  capture_initial_state();
+}
 
 sched::Decision HelcflScheduler::decide(const sched::FleetView& fleet,
                                         std::size_t round) {
@@ -84,7 +86,26 @@ void HelcflScheduler::report_completion(std::size_t /*round*/,
   }
 }
 
-void HelcflScheduler::reset() { selector_.reset(); }
+void HelcflScheduler::do_save_state(util::ByteWriter& out) const {
+  out.f64(options_.fraction);
+  out.f64(options_.eta);
+  out.boolean(options_.enable_dvfs);
+  const auto counters = selector_.appearance_counts();
+  out.vec_size({counters.data(), counters.size()});
+}
+
+void HelcflScheduler::do_load_state(util::ByteReader& in) {
+  const double fraction = in.f64();
+  const double eta = in.f64();
+  const bool enable_dvfs = in.boolean();
+  if (fraction != options_.fraction || eta != options_.eta ||
+      enable_dvfs != options_.enable_dvfs) {
+    throw util::SerialError(
+        "HelcflScheduler: state was saved under different options "
+        "(fraction/eta/enable_dvfs mismatch)");
+  }
+  selector_.restore_appearance_counts(in.vec_size());
+}
 
 std::string HelcflScheduler::name() const {
   return options_.enable_dvfs ? "HELCFL" : "HELCFL-noDVFS";

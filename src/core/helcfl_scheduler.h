@@ -27,11 +27,14 @@ class HelcflScheduler : public sched::SelectionStrategy {
   /// revoked here.
   void report_completion(std::size_t round, const sched::Decision& decision,
                          std::span<const std::uint8_t> completed) override;
-  void reset() override;
   std::string name() const override;
 
   const GreedyDecaySelector& selector() const { return selector_; }
   const HelcflOptions& options() const { return options_; }
+
+ protected:
+  void do_save_state(util::ByteWriter& out) const override;
+  void do_load_state(util::ByteReader& in) override;
 
  private:
   HelcflOptions options_;

@@ -1,0 +1,224 @@
+#include "fl/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+namespace helcfl::fl {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+void write_record(util::ByteWriter& out, const RoundRecord& r) {
+  out.u64(static_cast<std::uint64_t>(r.round));
+  out.vec_size(r.selected);
+  out.f64(r.round_delay_s);
+  out.f64(r.round_energy_j);
+  out.f64(r.cum_delay_s);
+  out.f64(r.cum_energy_j);
+  out.f64(r.train_loss);
+  out.boolean(r.evaluated);
+  out.f64(r.test_loss);
+  out.f64(r.test_accuracy);
+  out.u64(static_cast<std::uint64_t>(r.alive_users));
+  out.vec_size(r.aggregated);
+  out.u64(static_cast<std::uint64_t>(r.survivors));
+  out.u64(static_cast<std::uint64_t>(r.crashed));
+  out.u64(static_cast<std::uint64_t>(r.upload_failures));
+  out.u64(static_cast<std::uint64_t>(r.dropped_late));
+  out.u64(static_cast<std::uint64_t>(r.retries));
+  out.boolean(r.quorum_failed);
+  out.f64(r.wasted_energy_j);
+  out.u64(static_cast<std::uint64_t>(r.available_users));
+}
+
+RoundRecord read_record(util::ByteReader& in) {
+  RoundRecord r;
+  r.round = static_cast<std::size_t>(in.u64());
+  r.selected = in.vec_size();
+  r.round_delay_s = in.f64();
+  r.round_energy_j = in.f64();
+  r.cum_delay_s = in.f64();
+  r.cum_energy_j = in.f64();
+  r.train_loss = in.f64();
+  r.evaluated = in.boolean();
+  r.test_loss = in.f64();
+  r.test_accuracy = in.f64();
+  r.alive_users = static_cast<std::size_t>(in.u64());
+  r.aggregated = in.vec_size();
+  r.survivors = static_cast<std::size_t>(in.u64());
+  r.crashed = static_cast<std::size_t>(in.u64());
+  r.upload_failures = static_cast<std::size_t>(in.u64());
+  r.dropped_late = static_cast<std::size_t>(in.u64());
+  r.retries = static_cast<std::size_t>(in.u64());
+  r.quorum_failed = in.boolean();
+  r.wasted_energy_j = in.f64();
+  r.available_users = static_cast<std::size_t>(in.u64());
+  return r;
+}
+
+void write_rng_state(util::ByteWriter& out, const util::Rng::State& s) {
+  for (const std::uint64_t word : s.words) out.u64(word);
+  out.u64(s.seed);
+  out.f64(s.cached_normal);
+  out.boolean(s.has_cached_normal);
+}
+
+util::Rng::State read_rng_state(util::ByteReader& in) {
+  util::Rng::State s;
+  for (auto& word : s.words) word = in.u64();
+  s.seed = in.u64();
+  s.cached_normal = in.f64();
+  s.has_cached_normal = in.boolean();
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Checkpoint::serialize() const {
+  util::ByteWriter payload;
+  payload.u64(seed);
+  payload.u64(n_users);
+  payload.u64(next_round);
+  payload.f64(cum_delay_s);
+  payload.f64(cum_energy_j);
+  payload.f64(cum_wasted_energy_j);
+  payload.f64(best_accuracy);
+  payload.u64(trace_seq);
+  payload.vec_f32(global_weights);
+  payload.vec_f32(model_state);
+  write_rng_state(payload, batch_rng);
+  payload.str(strategy_name);
+  payload.vec_u8(strategy_state);
+  payload.vec_u8(injector_state);
+  payload.vec_u8(fading_state);
+  payload.boolean(batteries_enabled);
+  payload.vec_u8(battery_state);
+  payload.u64(records.size());
+  for (const RoundRecord& record : records) write_record(payload, record);
+
+  util::ByteWriter file;
+  file.u32(kMagic);
+  file.u32(kVersion);
+  file.u64(payload.size());
+  file.u64(util::fnv1a64(payload.data()));
+  file.raw(payload.data());
+  return file.take();
+}
+
+Checkpoint Checkpoint::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    throw CheckpointError(
+        "checkpoint is truncated: " + std::to_string(bytes.size()) +
+        " bytes, shorter than the " + std::to_string(kHeaderBytes) +
+        "-byte header");
+  }
+  util::ByteReader header(bytes.subspan(0, kHeaderBytes));
+  const std::uint32_t magic = header.u32();
+  if (magic != kMagic) {
+    throw CheckpointError(
+        "not a HELCFL checkpoint: bad magic (expected \"HCKP\")");
+  }
+  const std::uint32_t version = header.u32();
+  if (version != kVersion) {
+    throw CheckpointError(
+        "checkpoint version " + std::to_string(version) +
+        " is not supported by this build (expected version " +
+        std::to_string(kVersion) +
+        "); it was probably written by a newer release");
+  }
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t checksum = header.u64();
+  const std::span<const std::uint8_t> rest = bytes.subspan(kHeaderBytes);
+  if (payload_size > rest.size()) {
+    throw CheckpointError(
+        "checkpoint is truncated: header declares a " +
+        std::to_string(payload_size) + "-byte payload but only " +
+        std::to_string(rest.size()) + " bytes follow");
+  }
+  if (payload_size < rest.size()) {
+    throw CheckpointError(
+        "checkpoint has " + std::to_string(rest.size() - payload_size) +
+        " trailing byte(s) after the declared payload");
+  }
+  if (util::fnv1a64(rest) != checksum) {
+    throw CheckpointError(
+        "checkpoint payload checksum mismatch: the file is corrupted");
+  }
+
+  try {
+    util::ByteReader payload(rest);
+    Checkpoint ckpt;
+    ckpt.seed = payload.u64();
+    ckpt.n_users = payload.u64();
+    ckpt.next_round = payload.u64();
+    ckpt.cum_delay_s = payload.f64();
+    ckpt.cum_energy_j = payload.f64();
+    ckpt.cum_wasted_energy_j = payload.f64();
+    ckpt.best_accuracy = payload.f64();
+    ckpt.trace_seq = payload.u64();
+    ckpt.global_weights = payload.vec_f32();
+    ckpt.model_state = payload.vec_f32();
+    ckpt.batch_rng = read_rng_state(payload);
+    ckpt.strategy_name = payload.str();
+    ckpt.strategy_state = payload.vec_u8();
+    ckpt.injector_state = payload.vec_u8();
+    ckpt.fading_state = payload.vec_u8();
+    ckpt.batteries_enabled = payload.boolean();
+    ckpt.battery_state = payload.vec_u8();
+    const std::uint64_t n_records = payload.u64();
+    ckpt.records.reserve(static_cast<std::size_t>(n_records));
+    for (std::uint64_t i = 0; i < n_records; ++i) {
+      ckpt.records.push_back(read_record(payload));
+    }
+    payload.expect_end("checkpoint payload");
+    return ckpt;
+  } catch (const util::SerialError& error) {
+    // The checksum passed, so this is a layout (not corruption) problem —
+    // most likely a hand-built or version-confused file.
+    throw CheckpointError(std::string("checkpoint payload is malformed: ") +
+                          error.what());
+  }
+}
+
+void Checkpoint::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CheckpointError("cannot open '" + tmp + "' for writing");
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw CheckpointError("failed to write checkpoint to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("failed to rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+Checkpoint Checkpoint::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("cannot open checkpoint '" + path + "' for reading");
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw CheckpointError("failed to read checkpoint '" + path + "'");
+  }
+  try {
+    return deserialize(bytes);
+  } catch (const CheckpointError& error) {
+    throw CheckpointError("'" + path + "': " + error.what());
+  }
+}
+
+}  // namespace helcfl::fl

@@ -1,0 +1,106 @@
+// Versioned binary training snapshots (checkpoint/resume; DESIGN.md §11).
+//
+// A long experiment writes a Checkpoint every `checkpoint_every` rounds; a
+// later process resumes from it and continues the run *bitwise identically*
+// to one that never stopped: final weights, metrics CSV, and the trace
+// suffix all match (tests/resume_fixtures.h is the harness that proves it).
+// That works because everything stochastic in the trainer is either derived
+// from the seed per (round, user) — the mini-batch and fault client streams
+// — or is a sequential cursor captured here: the churn and fading RNGs, the
+// strategy's own stream and counters, and the battery charge.
+//
+// File layout (all little-endian):
+//
+//   u32 magic "HCKP"  | u32 version | u64 payload_size | u64 fnv1a64(payload)
+//   payload_size bytes of payload
+//
+// The checksum covers the payload only, so a corrupted header field and a
+// corrupted payload are reported as distinct errors.  Readers accept only
+// version == kVersion; a newer file is rejected with a clear message rather
+// than misparsed (bump kVersion on any payload layout change and state the
+// change in docs/CHECKPOINT.md, mirroring the trace-schema policy of
+// docs/OBSERVABILITY.md).
+//
+// What is deliberately NOT stored: client optimizer slots (local momentum
+// state is round-scoped — fl/client.h rebuilds it per local update, so
+// there is nothing to persist), pool/replica structure (rebuilt from
+// TrainerOptions; resume is thread-count invariant), and observability
+// counters (a resumed run's Registry restarts at zero; the trace instead
+// records the golden run's `seq` at save time so traces can be compared
+// suffix-to-suffix).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fl/metrics.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace helcfl::fl {
+
+/// Thrown on any malformed, corrupt, mismatched, or unreadable checkpoint.
+/// Every message names what failed; none of these errors leaves a trainer
+/// partially restored.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One complete training snapshot.  FederatedTrainer fills and consumes
+/// this; tests build them directly to probe the format.
+struct Checkpoint {
+  static constexpr std::uint32_t kMagic = 0x504b4348;  ///< "HCKP" read LE
+  static constexpr std::uint32_t kVersion = 1;
+
+  // --- identity: rejected on mismatch at resume ---
+  std::uint64_t seed = 0;       ///< TrainerOptions::seed of the saved run
+  std::uint64_t n_users = 0;    ///< fleet size of the saved run
+
+  // --- progress ---
+  std::uint64_t next_round = 0;  ///< first round the resumed run executes
+  double cum_delay_s = 0.0;
+  double cum_energy_j = 0.0;
+  double cum_wasted_energy_j = 0.0;
+  double best_accuracy = -1.0;
+  /// Tracer sequence number at save time: the golden run's trace lines with
+  /// seq >= trace_seq are the ones a resumed run re-emits (after its own
+  /// run_start/checkpoint_resume preamble).
+  std::uint64_t trace_seq = 0;
+
+  // --- model ---
+  std::vector<float> global_weights;  ///< via nn/serialize.h
+  std::vector<float> model_state;     ///< persistent buffers (empty if none)
+
+  // --- stream cursors and component state ---
+  util::Rng::State batch_rng;              ///< mini-batch fork parent
+  std::string strategy_name;               ///< for error messages
+  std::vector<std::uint8_t> strategy_state;  ///< SelectionStrategy::save_state frame
+  std::vector<std::uint8_t> injector_state;  ///< FaultInjector::save_state
+  std::vector<std::uint8_t> fading_state;    ///< FadingProcess::save_state
+  bool batteries_enabled = false;
+  std::vector<std::uint8_t> battery_state;   ///< BatteryFleet::save_state
+
+  // --- accumulated metrics: replayed so the resumed CSV is byte-identical ---
+  std::vector<RoundRecord> records;
+
+  /// Full file image: header + checksummed payload.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a file image.  Throws CheckpointError on bad magic, newer
+  /// version, truncation, checksum mismatch, or trailing bytes.
+  static Checkpoint deserialize(std::span<const std::uint8_t> bytes);
+
+  /// Atomic write: serializes to `path` + ".tmp" then renames over `path`,
+  /// so a crash mid-write never leaves a torn checkpoint under `path`.
+  void write_file(const std::string& path) const;
+
+  /// Reads and parses `path`.  Throws CheckpointError (file unreadable or
+  /// any deserialize() failure).
+  static Checkpoint read_file(const std::string& path);
+};
+
+}  // namespace helcfl::fl

@@ -6,7 +6,9 @@
 #include <future>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
+#include "fl/checkpoint.h"
 #include "fl/server.h"
 #include "mec/cost_model.h"
 #include "mec/tdma.h"
@@ -81,6 +83,18 @@ void TrainerOptions::validate(std::size_t n_users) const {
     throw std::invalid_argument(
         "TrainerOptions: straggler_cutoff_s must be positive (use infinity, "
         "the default, to wait for every upload)");
+  }
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "TrainerOptions: checkpoint_every = " + std::to_string(checkpoint_every) +
+        " but checkpoint_path is empty; set checkpoint_path to the file the "
+        "snapshots should be written to");
+  }
+  if (checkpoint_every == 0 && !checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "TrainerOptions: checkpoint_path = '" + checkpoint_path +
+        "' but checkpoint_every is 0, so no checkpoint would ever be written; "
+        "set checkpoint_every >= 1 (or clear checkpoint_path)");
   }
   faults.validate();
 }
@@ -172,6 +186,92 @@ TrainingHistory FederatedTrainer::run() {
   double cum_wasted_energy = 0.0;
   double best_accuracy = -1.0;
 
+  // Checkpoint resume (DESIGN.md §11).  Parse-then-commit: every check and
+  // every throwing parse happens before the first durable mutation, so a
+  // rejected checkpoint leaves this trainer exactly as it was — strategy,
+  // batteries, and model included — and a subsequent run() behaves as if
+  // the resume was never attempted.
+  std::size_t start_round = 0;
+  if (!options_.resume_from.empty()) {
+    const Checkpoint ckpt = Checkpoint::read_file(options_.resume_from);
+    if (ckpt.n_users != users_.size()) {
+      throw CheckpointError("'" + options_.resume_from + "': saved for " +
+                            std::to_string(ckpt.n_users) +
+                            " users, this trainer has " +
+                            std::to_string(users_.size()));
+    }
+    if (ckpt.seed != options_.seed) {
+      throw CheckpointError(
+          "'" + options_.resume_from + "': saved under seed " +
+          std::to_string(ckpt.seed) + ", this trainer uses seed " +
+          std::to_string(options_.seed) +
+          " — resuming would silently diverge from the original run");
+    }
+    if (ckpt.strategy_name != strategy_.name()) {
+      throw CheckpointError("'" + options_.resume_from +
+                            "': saved with strategy '" + ckpt.strategy_name +
+                            "', this trainer uses '" + strategy_.name() + "'");
+    }
+    if (ckpt.global_weights.size() != global_weights.size()) {
+      throw CheckpointError(
+          "'" + options_.resume_from + "': saved model has " +
+          std::to_string(ckpt.global_weights.size()) +
+          " parameters, this trainer's model has " +
+          std::to_string(global_weights.size()));
+    }
+    if (ckpt.model_state.size() != nn::state_count(model_)) {
+      throw CheckpointError(
+          "'" + options_.resume_from + "': saved model has " +
+          std::to_string(ckpt.model_state.size()) +
+          " persistent state scalars, this trainer's model has " +
+          std::to_string(nn::state_count(model_)));
+    }
+    if (ckpt.batteries_enabled != batteries_enabled) {
+      throw CheckpointError(
+          "'" + options_.resume_from + "': saved with batteries " +
+          std::string(ckpt.batteries_enabled ? "enabled" : "disabled") +
+          ", this trainer has them " +
+          std::string(batteries_enabled ? "enabled" : "disabled"));
+    }
+    mec::BatteryFleet restored_batteries;
+    try {
+      // Run-local cursors first (reconstructed on every run(), so partial
+      // mutation cannot outlive a failure)...
+      util::ByteReader injector_in(ckpt.injector_state);
+      injector.load_state(injector_in);
+      injector_in.expect_end("checkpoint injector state");
+      util::ByteReader fading_in(ckpt.fading_state);
+      fading.load_state(fading_in);
+      fading_in.expect_end("checkpoint fading state");
+      batch_rng.set_state(ckpt.batch_rng);
+      // ...then the durable battery state parsed into a copy...
+      if (batteries_enabled) {
+        restored_batteries = batteries_;
+        util::ByteReader battery_in(ckpt.battery_state);
+        restored_batteries.load_state(battery_in);
+        battery_in.expect_end("checkpoint battery state");
+      }
+      // ...and the strategy last: it parses its whole payload before
+      // touching any member (scheduler.h contract), so this either fully
+      // restores or fully leaves the just-reset() state.
+      util::ByteReader strategy_in(ckpt.strategy_state);
+      strategy_.load_state(strategy_in);
+      strategy_in.expect_end("checkpoint strategy state");
+    } catch (const std::exception& error) {
+      throw CheckpointError("'" + options_.resume_from + "': " + error.what());
+    }
+    // Commit — nothing below throws.
+    if (batteries_enabled) batteries_ = std::move(restored_batteries);
+    if (!ckpt.model_state.empty()) nn::load_state(model_, ckpt.model_state);
+    global_weights = ckpt.global_weights;
+    for (const RoundRecord& record : ckpt.records) history.add(record);
+    cum_delay = ckpt.cum_delay_s;
+    cum_energy = ckpt.cum_energy_j;
+    cum_wasted_energy = ckpt.cum_wasted_energy_j;
+    best_accuracy = ckpt.best_accuracy;
+    start_round = static_cast<std::size_t>(ckpt.next_round);
+  }
+
   if (tracer != nullptr && tracer->enabled(obs::TraceLevel::kRound)) {
     tracer->emit(obs::TraceLevel::kRound, "run_start",
                  {{"schema", std::size_t{1}},
@@ -183,8 +283,76 @@ TrainingHistory FederatedTrainer::run() {
                   {"seed", options_.seed},
                   {"faults_enabled", injector.active()}});
   }
+  if (start_round > 0 && tracer != nullptr &&
+      tracer->enabled(obs::TraceLevel::kRound)) {
+    tracer->emit(obs::TraceLevel::kRound, "checkpoint_resume",
+                 {{"round", start_round},
+                  {"records", history.size()},
+                  {"cum_delay_s", cum_delay},
+                  {"cum_energy_j", cum_energy}});
+  }
 
-  for (std::size_t round = 0; round < options_.max_rounds; ++round) {
+  // Cadenced snapshot writer.  Called after history.add() on every path
+  // that completes a round (including churn-skipped rounds), so the stored
+  // trace_seq sits exactly at the boundary the resumed run re-emits from.
+  const auto maybe_write_checkpoint = [&](std::size_t round) {
+    if (options_.checkpoint_every == 0) return;
+    const std::size_t completed = round + 1;
+    if (completed % options_.checkpoint_every != 0) return;
+    obs::ScopedSpan span(profiler, "checkpoint", static_cast<std::int64_t>(round));
+    Checkpoint ckpt;
+    ckpt.seed = options_.seed;
+    ckpt.n_users = users_.size();
+    ckpt.next_round = completed;
+    ckpt.cum_delay_s = cum_delay;
+    ckpt.cum_energy_j = cum_energy;
+    ckpt.cum_wasted_energy_j = cum_wasted_energy;
+    ckpt.best_accuracy = best_accuracy;
+    ckpt.trace_seq = tracer != nullptr ? tracer->event_count() : 0;
+    ckpt.global_weights = global_weights;
+    if (has_state) ckpt.model_state = nn::extract_state(model_);
+    ckpt.batch_rng = batch_rng.state();
+    ckpt.strategy_name = strategy_.name();
+    {
+      util::ByteWriter writer;
+      strategy_.save_state(writer);
+      ckpt.strategy_state = writer.take();
+    }
+    {
+      util::ByteWriter writer;
+      injector.save_state(writer);
+      ckpt.injector_state = writer.take();
+    }
+    {
+      util::ByteWriter writer;
+      fading.save_state(writer);
+      ckpt.fading_state = writer.take();
+    }
+    ckpt.batteries_enabled = batteries_enabled;
+    if (batteries_enabled) {
+      util::ByteWriter writer;
+      batteries_.save_state(writer);
+      ckpt.battery_state = writer.take();
+    }
+    ckpt.records = history.rounds();
+    std::string path = options_.checkpoint_path;
+    constexpr std::string_view kToken = "{round}";
+    for (std::size_t pos = path.find(kToken); pos != std::string::npos;
+         pos = path.find(kToken, pos)) {
+      const std::string value = std::to_string(completed);
+      path.replace(pos, kToken.size(), value);
+      pos += value.size();
+    }
+    ckpt.write_file(path);
+    if (tracer != nullptr && tracer->enabled(obs::TraceLevel::kRound)) {
+      tracer->emit(obs::TraceLevel::kRound, "checkpoint_write",
+                   {{"round", round},
+                    {"path", path},
+                    {"records", history.size()}});
+    }
+  };
+
+  for (std::size_t round = start_round; round < options_.max_rounds; ++round) {
     if (batteries_enabled && batteries_.alive_count() == 0) {
       util::log_info("FederatedTrainer: whole fleet depleted after round " +
                      std::to_string(round));
@@ -252,6 +420,7 @@ TrainingHistory FederatedTrainer::run() {
                         {"cum_delay_s", cum_delay},
                         {"cum_energy_j", cum_energy}});
         }
+        maybe_write_checkpoint(round);
         continue;
       }
       util::log_info("FederatedTrainer: strategy returned no users; stopping");
@@ -686,6 +855,7 @@ TrainingHistory FederatedTrainer::run() {
       tracer->emit(obs::TraceLevel::kRound, "round_end", fields);
     }
     history.add(std::move(record));
+    maybe_write_checkpoint(round);
 
     if (over_deadline) {
       util::log_info("FederatedTrainer: deadline reached after round " +

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <string>
 
 #include "data/dataset.h"
 #include "data/partition.h"
@@ -84,6 +85,21 @@ struct TrainerOptions {
   /// whose TDMA upload completes later are discarded (their energy is
   /// wasted).  infinity = wait for every upload.
   double straggler_cutoff_s = std::numeric_limits<double>::infinity();
+
+  // --- checkpoint/resume (DESIGN.md §11); off by default ---
+  /// Write a checkpoint after every N completed rounds (0 = never).
+  /// Requires checkpoint_path.
+  std::size_t checkpoint_every = 0;
+  /// Destination file.  The literal token "{round}" expands to the number
+  /// of completed rounds at write time, so one run can keep every cadence
+  /// point ("ckpt_r{round}.bin" -> ckpt_r3.bin, ckpt_r6.bin, ...); without
+  /// the token each write atomically replaces the previous file.
+  std::string checkpoint_path;
+  /// Resume a run from this checkpoint before executing any round.  The
+  /// checkpoint must match this trainer's seed, fleet size, model shape,
+  /// strategy, and battery configuration; any mismatch throws
+  /// CheckpointError and leaves the trainer untouched.  Empty = fresh run.
+  std::string resume_from;
 
   // --- observability (DESIGN.md §9); fully inert by default ---
   /// Borrowed trace / profile / counter sinks, all nullable.  Observation

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace helcfl::mec {
 
@@ -16,6 +17,11 @@ double Battery::drain(double joules) {
 double Battery::state_of_charge() const {
   if (is_mains_powered()) return 1.0;
   return remaining_j_ / capacity_j_;
+}
+
+void Battery::restore_remaining_j(double joules) {
+  if (is_mains_powered()) return;
+  remaining_j_ = std::clamp(joules, 0.0, capacity_j_);
 }
 
 BatteryFleet::BatteryFleet(std::size_t n_devices, double capacity_j)
@@ -37,6 +43,36 @@ std::size_t BatteryFleet::alive_count() const {
   std::size_t count = 0;
   for (const auto a : alive_) count += a;
   return count;
+}
+
+void BatteryFleet::save_state(util::ByteWriter& out) const {
+  out.u64(batteries_.size());
+  for (const auto& battery : batteries_) {
+    out.f64(battery.capacity_j());
+    out.f64(battery.remaining_j());
+  }
+}
+
+void BatteryFleet::load_state(util::ByteReader& in) {
+  const std::uint64_t n = in.u64();
+  if (n != batteries_.size()) {
+    throw util::SerialError("BatteryFleet: state was saved for " + std::to_string(n) +
+                            " batteries, this fleet has " +
+                            std::to_string(batteries_.size()));
+  }
+  std::vector<double> remaining(batteries_.size());
+  for (std::size_t i = 0; i < batteries_.size(); ++i) {
+    const double capacity = in.f64();
+    remaining[i] = in.f64();
+    if (capacity != batteries_[i].capacity_j()) {
+      throw util::SerialError("BatteryFleet: capacity mismatch at battery " +
+                              std::to_string(i));
+    }
+  }
+  for (std::size_t i = 0; i < batteries_.size(); ++i) {
+    batteries_[i].restore_remaining_j(remaining[i]);
+    alive_[i] = batteries_[i].depleted() ? 0 : 1;
+  }
 }
 
 double BatteryFleet::mean_state_of_charge() const {

@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "util/serial.h"
+
 namespace helcfl::mec {
 
 /// One device's energy budget.
@@ -44,6 +46,10 @@ class Battery {
   /// Remaining fraction in [0, 1]; 1 for mains power.
   double state_of_charge() const;
 
+  /// Overwrites the remaining charge (checkpoint resume).  Clamped to
+  /// [0, capacity]; no-op for mains power.
+  void restore_remaining_j(double joules);
+
  private:
   double capacity_j_ = 0.0;
   double remaining_j_ = 0.0;
@@ -73,6 +79,14 @@ class BatteryFleet {
 
   /// Mean state of charge over all devices.
   double mean_state_of_charge() const;
+
+  /// Serializes capacities (as a configuration echo) and remaining charge.
+  void save_state(util::ByteWriter& out) const;
+
+  /// Restores charge written by save_state() on a fleet constructed with
+  /// identical capacities; recomputes the alive mask.  Parses fully before
+  /// mutating; throws util::SerialError on mismatch.
+  void load_state(util::ByteReader& in);
 
  private:
   std::vector<Battery> batteries_;

@@ -29,6 +29,29 @@ void FadingProcess::step() {
   }
 }
 
+void FadingProcess::save_state(util::ByteWriter& out) const {
+  out.boolean(options_.enabled);
+  util::write_rng(out, rng_);
+  out.vec_f64(states_db_);
+}
+
+void FadingProcess::load_state(util::ByteReader& in) {
+  const bool enabled = in.boolean();
+  if (enabled != options_.enabled) {
+    throw util::SerialError(
+        "FadingProcess: state was saved with fading " +
+        std::string(enabled ? "enabled" : "disabled") + ", this process has it " +
+        std::string(options_.enabled ? "enabled" : "disabled"));
+  }
+  util::Rng rng = util::read_rng(in);
+  std::vector<double> states = in.vec_f64();
+  if (states.size() != states_db_.size()) {
+    throw util::SerialError("FadingProcess: device count mismatch in saved state");
+  }
+  rng_ = rng;
+  states_db_ = std::move(states);
+}
+
 double FadingProcess::multiplier(std::size_t i) const {
   if (!options_.enabled) return 1.0;
   return std::pow(10.0, states_db_.at(i) / 10.0);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace helcfl::mec {
 
@@ -43,6 +44,13 @@ class FadingProcess {
 
   std::size_t size() const { return states_db_.size(); }
   bool enabled() const { return options_.enabled; }
+
+  /// Serializes the RNG cursor and per-device dB states.
+  void save_state(util::ByteWriter& out) const;
+
+  /// Restores state written by save_state() on a process constructed with
+  /// the same fleet size; throws util::SerialError on mismatch.
+  void load_state(util::ByteReader& in);
 
  private:
   FadingOptions options_;

@@ -31,6 +31,7 @@
 
 #include "obs/trace.h"
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace helcfl::mec {
 
@@ -118,6 +119,17 @@ class FaultInjector {
                     std::size_t max_attempts) const;
 
   std::size_t size() const { return n_devices_; }
+
+  /// Serializes the stream cursors (round counter, churn RNG, availability
+  /// mask).  The per-client base stream is derived from the construction
+  /// seed and never advances, so it is not stored — an injector rebuilt
+  /// from the same seed plus this state replays identical faults.
+  void save_state(util::ByteWriter& out) const;
+
+  /// Restores cursors written by save_state() on an injector constructed
+  /// with the same fleet size and options.  Parses fully before mutating;
+  /// throws util::SerialError on any mismatch.
+  void load_state(util::ByteReader& in);
 
  private:
   std::size_t n_devices_ = 0;

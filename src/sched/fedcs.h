@@ -31,7 +31,6 @@ class FedCsSelection : public SelectionStrategy {
   /// streak.  With no failures every streak is 0 and decide() is unchanged.
   void report_completion(std::size_t round, const Decision& decision,
                          std::span<const std::uint8_t> completed) override;
-  void reset() override { failure_streaks_.clear(); }
   std::string name() const override { return "FedCS"; }
 
   double deadline_s() const { return deadline_s_; }
@@ -40,6 +39,10 @@ class FedCsSelection : public SelectionStrategy {
   std::size_t failure_streak(std::size_t user) const {
     return user < failure_streaks_.size() ? failure_streaks_[user] : 0;
   }
+
+ protected:
+  void do_save_state(util::ByteWriter& out) const override;
+  void do_load_state(util::ByteReader& in) override;
 
  private:
   double deadline_s_;

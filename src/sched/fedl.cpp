@@ -9,8 +9,9 @@
 namespace helcfl::sched {
 
 FedlSelection::FedlSelection(double fraction, double kappa, util::Rng rng)
-    : fraction_(fraction), kappa_(kappa), initial_rng_(rng), rng_(rng) {
+    : fraction_(fraction), kappa_(kappa), rng_(rng) {
   if (kappa <= 0.0) throw std::invalid_argument("FedlSelection: kappa must be > 0");
+  capture_initial_state();
 }
 
 double FedlSelection::unconstrained_frequency(double kappa,
@@ -52,6 +53,22 @@ Decision FedlSelection::decide(const FleetView& fleet, std::size_t round) {
   return decision;
 }
 
-void FedlSelection::reset() { rng_ = initial_rng_; }
+void FedlSelection::do_save_state(util::ByteWriter& out) const {
+  out.f64(fraction_);
+  out.f64(kappa_);
+  util::write_rng(out, rng_);
+}
+
+void FedlSelection::do_load_state(util::ByteReader& in) {
+  const double fraction = in.f64();
+  const double kappa = in.f64();
+  if (fraction != fraction_ || kappa != kappa_) {
+    throw util::SerialError(
+        "FedlSelection: state was saved with fraction=" + std::to_string(fraction) +
+        " kappa=" + std::to_string(kappa) + ", this strategy uses fraction=" +
+        std::to_string(fraction_) + " kappa=" + std::to_string(kappa_));
+  }
+  rng_ = util::read_rng(in);
+}
 
 }  // namespace helcfl::sched

@@ -25,16 +25,18 @@ class FedlSelection : public SelectionStrategy {
   FedlSelection(double fraction, double kappa, util::Rng rng);
 
   Decision decide(const FleetView& fleet, std::size_t round) override;
-  void reset() override;
   std::string name() const override { return "FEDL"; }
 
   /// The closed-form optimum before clamping.
   static double unconstrained_frequency(double kappa, double switched_capacitance);
 
+ protected:
+  void do_save_state(util::ByteWriter& out) const override;
+  void do_load_state(util::ByteReader& in) override;
+
  private:
   double fraction_;
   double kappa_;
-  util::Rng initial_rng_;
   util::Rng rng_;
 };
 

@@ -9,7 +9,7 @@
 namespace helcfl::sched {
 
 OortSelection::OortSelection(const OortOptions& options, util::Rng rng)
-    : options_(options), initial_rng_(rng), rng_(rng) {
+    : options_(options), rng_(rng) {
   if (options.fraction <= 0.0 || options.fraction > 1.0) {
     throw std::invalid_argument("OortSelection: fraction must be in (0, 1]");
   }
@@ -19,6 +19,7 @@ OortSelection::OortSelection(const OortOptions& options, util::Rng rng)
   if (options.explore_ratio < 0.0 || options.explore_ratio > 1.0) {
     throw std::invalid_argument("OortSelection: explore_ratio must be in [0, 1]");
   }
+  capture_initial_state();
 }
 
 double OortSelection::statistical_utility(std::size_t user) const {
@@ -141,13 +142,55 @@ void OortSelection::report_completion(std::size_t /*round*/, const Decision& dec
   }
 }
 
-void OortSelection::reset() {
-  rng_ = initial_rng_;
-  resolved_t_pref_ = 0.0;
-  last_loss_.clear();
-  explored_.clear();
-  failure_streaks_.clear();
-  max_seen_loss_ = 1.0;
+void OortSelection::do_save_state(util::ByteWriter& out) const {
+  out.f64(options_.fraction);
+  out.f64(options_.alpha);
+  out.f64(options_.explore_ratio);
+  out.f64(options_.preferred_duration_s);
+  util::write_rng(out, rng_);
+  out.f64(resolved_t_pref_);
+  out.f64(max_seen_loss_);
+  out.vec_f64(last_loss_);
+  std::vector<std::uint8_t> explored(explored_.size());
+  for (std::size_t i = 0; i < explored_.size(); ++i) explored[i] = explored_[i] ? 1 : 0;
+  out.vec_u8(explored);
+  out.vec_size(failure_streaks_);
+}
+
+void OortSelection::do_load_state(util::ByteReader& in) {
+  const double fraction = in.f64();
+  const double alpha = in.f64();
+  const double explore_ratio = in.f64();
+  const double preferred = in.f64();
+  if (fraction != options_.fraction || alpha != options_.alpha ||
+      explore_ratio != options_.explore_ratio ||
+      preferred != options_.preferred_duration_s) {
+    throw util::SerialError(
+        "OortSelection: state was saved under different options "
+        "(fraction/alpha/explore_ratio/preferred_duration_s mismatch)");
+  }
+  // Parse everything before assigning any member: a malformed payload must
+  // not leave the strategy half-restored.
+  util::Rng rng = util::read_rng(in);
+  const double resolved_t_pref = in.f64();
+  const double max_seen_loss = in.f64();
+  std::vector<double> last_loss = in.vec_f64();
+  const std::vector<std::uint8_t> explored_bytes = in.vec_u8();
+  std::vector<std::size_t> failure_streaks = in.vec_size();
+  if (explored_bytes.size() != last_loss.size()) {
+    throw util::SerialError(
+        "OortSelection: explored/last_loss length mismatch in saved state");
+  }
+  std::vector<bool> explored(explored_bytes.size());
+  for (std::size_t i = 0; i < explored_bytes.size(); ++i) {
+    explored[i] = explored_bytes[i] != 0;
+  }
+  rng_ = rng;
+  resolved_t_pref_ = resolved_t_pref;
+  max_seen_loss_ = max_seen_loss;
+  last_loss_ = std::move(last_loss);
+  explored_ = std::move(explored);
+  failure_streaks_ = std::move(failure_streaks);
 }
 
 }  // namespace helcfl::sched

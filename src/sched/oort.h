@@ -46,7 +46,6 @@ class OortSelection : public SelectionStrategy {
   /// completed round clears the penalty.
   void report_completion(std::size_t round, const Decision& decision,
                          std::span<const std::uint8_t> completed) override;
-  void reset() override;
   std::string name() const override { return "Oort"; }
 
   /// The statistical utility the strategy currently assigns to `user`.
@@ -56,9 +55,12 @@ class OortSelection : public SelectionStrategy {
   /// `misses` consecutive failed participations.
   double reliability_multiplier(std::size_t user) const;
 
+ protected:
+  void do_save_state(util::ByteWriter& out) const override;
+  void do_load_state(util::ByteReader& in) override;
+
  private:
   OortOptions options_;
-  util::Rng initial_rng_;
   util::Rng rng_;
   double resolved_t_pref_ = 0.0;
   std::vector<double> last_loss_;   ///< most recent observed loss per user

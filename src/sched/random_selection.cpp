@@ -7,7 +7,9 @@
 namespace helcfl::sched {
 
 RandomSelection::RandomSelection(double fraction, util::Rng rng)
-    : fraction_(fraction), initial_rng_(rng), rng_(rng) {}
+    : fraction_(fraction), rng_(rng) {
+  capture_initial_state();
+}
 
 Decision RandomSelection::decide(const FleetView& fleet, std::size_t round) {
   const std::vector<std::size_t> alive = fleet.alive_indices();
@@ -37,6 +39,19 @@ Decision RandomSelection::decide(const FleetView& fleet, std::size_t round) {
   return decision;
 }
 
-void RandomSelection::reset() { rng_ = initial_rng_; }
+void RandomSelection::do_save_state(util::ByteWriter& out) const {
+  out.f64(fraction_);
+  util::write_rng(out, rng_);
+}
+
+void RandomSelection::do_load_state(util::ByteReader& in) {
+  const double fraction = in.f64();
+  if (fraction != fraction_) {
+    throw util::SerialError("RandomSelection: state was saved with fraction " +
+                            std::to_string(fraction) + ", this strategy uses " +
+                            std::to_string(fraction_));
+  }
+  rng_ = util::read_rng(in);
+}
 
 }  // namespace helcfl::sched

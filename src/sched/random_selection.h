@@ -13,12 +13,14 @@ class RandomSelection : public SelectionStrategy {
   RandomSelection(double fraction, util::Rng rng);
 
   Decision decide(const FleetView& fleet, std::size_t round) override;
-  void reset() override;
   std::string name() const override { return "ClassicFL"; }
+
+ protected:
+  void do_save_state(util::ByteWriter& out) const override;
+  void do_load_state(util::ByteReader& in) override;
 
  private:
   double fraction_;
-  util::Rng initial_rng_;
   util::Rng rng_;
 };
 

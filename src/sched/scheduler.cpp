@@ -8,6 +8,38 @@
 
 namespace helcfl::sched {
 
+void SelectionStrategy::save_state(util::ByteWriter& out) const {
+  out.str(name());
+  util::ByteWriter payload;
+  do_save_state(payload);
+  out.vec_u8(payload.data());
+}
+
+void SelectionStrategy::load_state(util::ByteReader& in) {
+  const std::string stored = in.str();
+  if (stored != name()) {
+    throw util::SerialError("SelectionStrategy::load_state: state was saved by '" +
+                            stored + "' but this strategy is '" + name() + "'");
+  }
+  const std::vector<std::uint8_t> payload = in.vec_u8();
+  util::ByteReader reader(payload);
+  do_load_state(reader);
+  reader.expect_end("strategy payload (" + name() + ")");
+}
+
+void SelectionStrategy::capture_initial_state() {
+  util::ByteWriter writer;
+  save_state(writer);
+  initial_state_ = writer.take();
+}
+
+void SelectionStrategy::reset() {
+  if (initial_state_.empty()) return;
+  util::ByteReader reader(initial_state_);
+  load_state(reader);
+  reader.expect_end("strategy initial snapshot (" + name() + ")");
+}
+
 std::size_t selection_count(std::size_t n_users, double fraction) {
   if (fraction < 0.0 || fraction > 1.0) {
     throw std::invalid_argument("selection_count: fraction must be in [0, 1]");

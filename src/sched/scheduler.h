@@ -15,6 +15,7 @@
 #include "mec/channel.h"
 #include "mec/device.h"
 #include "obs/instruments.h"
+#include "util/serial.h"
 
 namespace helcfl::sched {
 
@@ -107,8 +108,30 @@ class SelectionStrategy {
     (void)completed;
   }
 
-  /// Restores construction-time state (counters, RNG stream).
-  virtual void reset() = 0;
+  /// Restores construction-time state (counters, RNG stream).  The default
+  /// implementation replays the snapshot captured by capture_initial_state()
+  /// through load_state() — the same code path a checkpoint resume takes —
+  /// so reset() cannot drift from restore semantics (no-op if the subclass
+  /// never captured).  Override only if the strategy has state that
+  /// save_state/load_state deliberately do not cover.
+  virtual void reset();
+
+  /// Serializes all mutable state into `out`.  Frame: the strategy name(),
+  /// then a length-prefixed payload produced by do_save_state().  The
+  /// payload also echoes the construction-time configuration so that
+  /// load_state() onto a differently-configured strategy fails loudly.
+  void save_state(util::ByteWriter& out) const;
+
+  /// Restores state written by save_state() on an identically-configured
+  /// strategy.  Throws util::SerialError if the stored name does not match
+  /// name(), if the configuration echo mismatches, or if the payload is
+  /// malformed; implementations parse the full payload before mutating any
+  /// member, so a throwing load leaves the strategy unchanged.
+  void load_state(util::ByteReader& in);
+
+  /// The construction-time snapshot reset() restores (empty if the
+  /// subclass never called capture_initial_state()).
+  std::span<const std::uint8_t> initial_state() const { return initial_state_; }
 
   /// Human-readable scheme label ("HELCFL", "FedCS", ...); also the
   /// `strategy` field of every traced selection event.
@@ -124,8 +147,25 @@ class SelectionStrategy {
   }
 
  protected:
+  /// Writes the strategy-specific payload: configuration echo first, then
+  /// mutable state.  Default: empty payload (stateless strategy).
+  virtual void do_save_state(util::ByteWriter& out) const { (void)out; }
+
+  /// Parses a payload written by do_save_state().  Must validate and parse
+  /// everything into locals before assigning to members ("no partial
+  /// restore").  Default: accepts only the empty payload.
+  virtual void do_load_state(util::ByteReader& in) { (void)in; }
+
+  /// Records the current state as the reset() target.  Call at the end of
+  /// the most-derived constructor (virtual dispatch to do_save_state() is
+  /// correct there — the object is fully constructed as that type).
+  void capture_initial_state();
+
   /// The attached sinks (default: all null, i.e. tracing off).
   obs::Instruments instruments_{};
+
+ private:
+  std::vector<std::uint8_t> initial_state_;
 };
 
 /// N = max(Q * C, 1) of Algorithm 2 line 11.

@@ -14,6 +14,7 @@ Scheme parse_scheme(const std::string& text) {
   if (text == "fedcs") return Scheme::kFedCs;
   if (text == "fedl") return Scheme::kFedl;
   if (text == "sl") return Scheme::kSl;
+  if (text == "oort") return Scheme::kOort;
   throw std::invalid_argument("unknown scheme: " + text);
 }
 
@@ -25,6 +26,7 @@ std::string scheme_name(Scheme scheme) {
     case Scheme::kFedCs: return "FedCS";
     case Scheme::kFedl: return "FEDL";
     case Scheme::kSl: return "SL";
+    case Scheme::kOort: return "Oort";
   }
   return "unknown";
 }

@@ -20,9 +20,11 @@ enum class Scheme {
   kFedCs,         ///< deadline-greedy selection [10]
   kFedl,          ///< random selection + closed-form frequency [12]
   kSl,            ///< separated learning [4]
+  kOort,          ///< loss-aware utility selection (extension; DESIGN.md §6)
 };
 
-/// Parses "helcfl" | "helcfl_nodvfs" | "classic" | "fedcs" | "fedl" | "sl".
+/// Parses "helcfl" | "helcfl_nodvfs" | "classic" | "fedcs" | "fedl" | "sl"
+/// | "oort".
 Scheme parse_scheme(const std::string& text);
 std::string scheme_name(Scheme scheme);
 

@@ -11,6 +11,7 @@
 #include "nn/serialize.h"
 #include "sched/fedcs.h"
 #include "sched/fedl.h"
+#include "sched/oort.h"
 #include "sched/random_selection.h"
 #include "sim/fleet.h"
 #include "util/log.h"
@@ -75,6 +76,11 @@ std::unique_ptr<sched::SelectionStrategy> make_strategy(const ExperimentConfig& 
     case Scheme::kFedl:
       return std::make_unique<sched::FedlSelection>(config.fraction, config.fedl_kappa,
                                                     strategy_rng);
+    case Scheme::kOort: {
+      sched::OortOptions options;
+      options.fraction = config.fraction;
+      return std::make_unique<sched::OortSelection>(options, strategy_rng);
+    }
     case Scheme::kSl:
       return nullptr;
   }
@@ -148,6 +154,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   fl::FederatedTrainer trainer(*model, split.train, split.test, partition, devices,
                                channel, *strategy, trainer_options);
   result.history = trainer.run();
+  result.final_weights = nn::extract_parameters(*model);
   return result;
 }
 

@@ -24,6 +24,10 @@ struct ExperimentResult {
   std::size_t model_parameters = 0;
   std::size_t n_users = 0;
   double fedcs_deadline_s = 0.0; ///< the deadline FedCS actually used (auto-resolved)
+  /// Final global model weights (flat, nn/serialize.h order).  The resume
+  /// test harness compares these bitwise between a golden run and a
+  /// save/kill/resume run; empty only for Scheme::kSl.
+  std::vector<float> final_weights;
 };
 
 /// Runs one experiment to completion.  Throws on invalid configuration.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace helcfl::util {
 
@@ -98,6 +99,26 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::siz
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   return sample_without_replacement(n, n);
+}
+
+Rng::State Rng::state() const {
+  State state;
+  state.words = state_;
+  state.seed = seed_;
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::set_state(const State& state) {
+  if (state.words[0] == 0 && state.words[1] == 0 && state.words[2] == 0 &&
+      state.words[3] == 0) {
+    throw std::invalid_argument("Rng::set_state: all-zero state is invalid");
+  }
+  state_ = state.words;
+  seed_ = state.seed;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
 }
 
 Rng Rng::fork(std::uint64_t stream_id) const {

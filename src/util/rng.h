@@ -18,6 +18,19 @@ namespace helcfl::util {
 /// Not thread-safe; fork() independent streams for concurrent use.
 class Rng {
  public:
+  /// Complete generator cursor: copying this out and back restores the
+  /// exact output sequence, including the cached Box-Muller deviate and
+  /// the seed that fork() derives child streams from.  The checkpoint
+  /// subsystem serializes these via util/serial.h.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    std::uint64_t seed = 0;
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+
+    bool operator==(const State&) const = default;
+  };
+
   /// Seeds the four 64-bit state words by iterating splitmix64 over `seed`.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
@@ -62,6 +75,13 @@ class Rng {
   /// Derives an independent stream; streams with distinct ids do not overlap
   /// in practice (re-seeded through splitmix64 on a mixed key).
   Rng fork(std::uint64_t stream_id) const;
+
+  /// Snapshot of the full cursor (see State).
+  State state() const;
+
+  /// Restores a cursor captured by state().  Rejects the all-zero word
+  /// vector, which is outside xoshiro256**'s state space.
+  void set_state(const State& state);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -1,0 +1,192 @@
+#include "util/serial.h"
+
+#include <bit>
+#include <cstring>
+#include <type_traits>
+
+#include "util/rng.h"
+
+namespace helcfl::util {
+
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::uint8_t>& buffer, T value) {
+  static_assert(std::is_unsigned_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buffer.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+void ByteWriter::u32(std::uint32_t v) { append_le(buffer_, v); }
+void ByteWriter::u64(std::uint64_t v) { append_le(buffer_, v); }
+void ByteWriter::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+void ByteWriter::boolean(bool v) { u8(v ? 1 : 0); }
+
+void ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::vec_f32(std::span<const float> v) {
+  u64(v.size());
+  for (const float x : v) f32(x);
+}
+
+void ByteWriter::vec_f64(std::span<const double> v) {
+  u64(v.size());
+  for (const double x : v) f64(x);
+}
+
+void ByteWriter::vec_u64(std::span<const std::uint64_t> v) {
+  u64(v.size());
+  for (const std::uint64_t x : v) u64(x);
+}
+
+void ByteWriter::vec_u8(std::span<const std::uint8_t> v) {
+  u64(v.size());
+  raw(v);
+}
+
+void ByteWriter::vec_size(std::span<const std::size_t> v) {
+  u64(v.size());
+  for (const std::size_t x : v) u64(static_cast<std::uint64_t>(x));
+}
+
+std::uint8_t ByteReader::u8() {
+  if (remaining() < 1) throw SerialError("ByteReader: read past end of buffer");
+  return data_[cursor_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  if (remaining() < 4) throw SerialError("ByteReader: read past end of buffer");
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[cursor_ + i]) << (8 * i);
+  }
+  cursor_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (remaining() < 8) throw SerialError("ByteReader: read past end of buffer");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[cursor_ + i]) << (8 * i);
+  }
+  cursor_ += 8;
+  return v;
+}
+
+float ByteReader::f32() { return std::bit_cast<float>(u32()); }
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+bool ByteReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) throw SerialError("ByteReader: boolean byte is neither 0 nor 1");
+  return v != 0;
+}
+
+std::string ByteReader::str() {
+  const std::size_t n = read_count(1);
+  std::string s(reinterpret_cast<const char*>(data_.data() + cursor_), n);
+  cursor_ += n;
+  return s;
+}
+
+std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
+  if (remaining() < n) throw SerialError("ByteReader: read past end of buffer");
+  const auto view = data_.subspan(cursor_, n);
+  cursor_ += n;
+  return view;
+}
+
+std::size_t ByteReader::read_count(std::size_t elem_size) {
+  const std::uint64_t n = u64();
+  // Reject counts the remaining bytes cannot possibly satisfy *before*
+  // sizing a vector from them: a corrupt length prefix must fail cleanly,
+  // not attempt a huge allocation.
+  if (n > remaining() / elem_size) {
+    throw SerialError("ByteReader: length prefix exceeds remaining bytes");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::vector<float> ByteReader::vec_f32() {
+  const std::size_t n = read_count(4);
+  std::vector<float> v(n);
+  for (auto& x : v) x = f32();
+  return v;
+}
+
+std::vector<double> ByteReader::vec_f64() {
+  const std::size_t n = read_count(8);
+  std::vector<double> v(n);
+  for (auto& x : v) x = f64();
+  return v;
+}
+
+std::vector<std::uint64_t> ByteReader::vec_u64() {
+  const std::size_t n = read_count(8);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = u64();
+  return v;
+}
+
+std::vector<std::uint8_t> ByteReader::vec_u8() {
+  const std::size_t n = read_count(1);
+  const auto view = raw(n);
+  return std::vector<std::uint8_t>(view.begin(), view.end());
+}
+
+std::vector<std::size_t> ByteReader::vec_size() {
+  const std::size_t n = read_count(8);
+  std::vector<std::size_t> v(n);
+  for (auto& x : v) x = static_cast<std::size_t>(u64());
+  return v;
+}
+
+void ByteReader::expect_end(std::string_view what) const {
+  if (!done()) {
+    throw SerialError(std::string(what) + ": " + std::to_string(remaining()) +
+                      " trailing byte(s) after the last field");
+  }
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void write_rng(ByteWriter& out, const Rng& rng) {
+  const Rng::State state = rng.state();
+  for (const std::uint64_t word : state.words) out.u64(word);
+  out.u64(state.seed);
+  out.f64(state.cached_normal);
+  out.boolean(state.has_cached_normal);
+}
+
+Rng read_rng(ByteReader& in) {
+  Rng::State state;
+  for (auto& word : state.words) word = in.u64();
+  state.seed = in.u64();
+  state.cached_normal = in.f64();
+  state.has_cached_normal = in.boolean();
+  Rng rng(state.seed);
+  rng.set_state(state);
+  return rng;
+}
+
+}  // namespace helcfl::util

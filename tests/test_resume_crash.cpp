@@ -1,0 +1,97 @@
+// Crash-mid-run recovery (docs/CHECKPOINT.md): a run that is killed right
+// after a cadence write — simulated by capping max_rounds at the kill
+// round, exactly what a process that died after the write looks like on
+// disk — must resume to the same final model, bitwise, as a run that never
+// died.  The kill round is picked from the golden run's own fault arrivals
+// (the first round in which the injector actually crashed a client), so
+// the checkpoint is taken while the injector's streams are mid-flight.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "fl/checkpoint.h"
+#include "resume_fixtures.h"
+
+namespace helcfl::fl {
+namespace {
+
+const testing::ResumeWorld& world() {
+  static const testing::ResumeWorld kWorld;
+  return kWorld;
+}
+
+// First round with an injected crash, as the kill point; the checkpoint is
+// written after it completes, so its injector/RNG cursors sit past draws
+// that actually fired.  Clamped to [2, R-1] so both run segments are
+// non-trivial.
+std::size_t pick_kill_round(const TrainingHistory& golden) {
+  std::size_t kill = 3;
+  for (const RoundRecord& record : golden.rounds()) {
+    if (record.crashed > 0) {
+      kill = record.round + 1;  // completed-round count at the write
+      break;
+    }
+  }
+  return std::min(std::max<std::size_t>(kill, 2), testing::kResumeRounds - 1);
+}
+
+class ResumeCrashTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ResumeCrashTest, KilledRunResumesToGoldenModel) {
+  const std::size_t threads = GetParam();
+  const std::filesystem::path dir =
+      testing::resume_tmp_dir("crash_t" + std::to_string(threads));
+
+  // Golden: uninterrupted, no checkpointing at all.
+  const testing::ResumeRun golden = testing::run_resume_case(
+      world(), "HELCFL", testing::resume_options(/*faults=*/true, threads));
+  const std::size_t kill = pick_kill_round(golden.history);
+  ASSERT_GE(kill, 2U);
+  ASSERT_LT(kill, testing::kResumeRounds);
+
+  // Crash run: dies at round `kill`, having just written its checkpoint.
+  TrainerOptions crashed_options = testing::resume_options(/*faults=*/true, threads);
+  crashed_options.max_rounds = kill;
+  crashed_options.checkpoint_every = kill;
+  crashed_options.checkpoint_path = (dir / "crash.ckpt").string();
+  const testing::ResumeRun crashed =
+      testing::run_resume_case(world(), "HELCFL", crashed_options);
+  ASSERT_EQ(crashed.history.size(), kill);
+  const Checkpoint ckpt = Checkpoint::read_file((dir / "crash.ckpt").string());
+  EXPECT_EQ(ckpt.next_round, kill);
+
+  // Recovery: resume the dead run to the full horizon.  The final model
+  // must match the never-died run bitwise.  (Metrics may not: the capped
+  // run force-evaluates its last round, which the golden run may have
+  // skipped — evaluation reads the model without perturbing it.)
+  TrainerOptions resumed_options = testing::resume_options(/*faults=*/true, threads);
+  resumed_options.resume_from = (dir / "crash.ckpt").string();
+  const testing::ResumeRun resumed =
+      testing::run_resume_case(world(), "HELCFL", resumed_options);
+
+  EXPECT_EQ(golden.final_weights, resumed.final_weights);
+  ASSERT_EQ(resumed.history.size(), testing::kResumeRounds);
+  // Post-resume rounds carry identical records to the golden run.
+  for (std::size_t i = kill; i < testing::kResumeRounds; ++i) {
+    const RoundRecord& rg = golden.history.rounds()[i];
+    const RoundRecord& rr = resumed.history.rounds()[i];
+    EXPECT_EQ(rg.selected, rr.selected) << "round " << i;
+    EXPECT_EQ(rg.aggregated, rr.aggregated) << "round " << i;
+    EXPECT_EQ(rg.round_delay_s, rr.round_delay_s) << "round " << i;
+    EXPECT_EQ(rg.round_energy_j, rr.round_energy_j) << "round " << i;
+    EXPECT_EQ(rg.cum_delay_s, rr.cum_delay_s) << "round " << i;
+    EXPECT_EQ(rg.cum_energy_j, rr.cum_energy_j) << "round " << i;
+    EXPECT_EQ(rg.train_loss, rr.train_loss) << "round " << i;
+    EXPECT_EQ(rg.crashed, rr.crashed) << "round " << i;
+    EXPECT_EQ(rg.retries, rr.retries) << "round " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ResumeCrashTest, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace helcfl::fl

@@ -1,0 +1,189 @@
+// The serialization substrate of the checkpoint format: fixed-width
+// little-endian round-trips, bit-exact float transport (NaN payloads
+// included), strict overrun handling, and bounds-checked length prefixes
+// that cannot be used to force giant allocations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace helcfl::util {
+namespace {
+
+TEST(ByteWriterReader, ScalarRoundTrip) {
+  ByteWriter out;
+  out.u8(0x7F);
+  out.u32(0xDEADBEEF);
+  out.u64(0x0123456789ABCDEFULL);
+  out.f32(-1.5F);
+  out.f64(3.141592653589793);
+  out.boolean(true);
+  out.boolean(false);
+  out.str("hello");
+  out.str("");
+
+  ByteReader in(out.data());
+  EXPECT_EQ(in.u8(), 0x7F);
+  EXPECT_EQ(in.u32(), 0xDEADBEEFU);
+  EXPECT_EQ(in.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(in.f32(), -1.5F);
+  EXPECT_EQ(in.f64(), 3.141592653589793);
+  EXPECT_TRUE(in.boolean());
+  EXPECT_FALSE(in.boolean());
+  EXPECT_EQ(in.str(), "hello");
+  EXPECT_EQ(in.str(), "");
+  EXPECT_TRUE(in.done());
+  EXPECT_NO_THROW(in.expect_end("scalars"));
+}
+
+TEST(ByteWriterReader, LittleEndianOnTheWire) {
+  ByteWriter out;
+  out.u32(0x01020304);
+  ASSERT_EQ(out.size(), 4U);
+  EXPECT_EQ(out.data()[0], 0x04);
+  EXPECT_EQ(out.data()[1], 0x03);
+  EXPECT_EQ(out.data()[2], 0x02);
+  EXPECT_EQ(out.data()[3], 0x01);
+}
+
+TEST(ByteWriterReader, FloatsAreBitExact) {
+  const float f_nan = std::nanf("0x12345");
+  const double d_nan = std::nan("0x6789A");
+  ByteWriter out;
+  out.f32(f_nan);
+  out.f64(d_nan);
+  out.f32(-0.0F);
+  out.f64(std::numeric_limits<double>::infinity());
+
+  ByteReader in(out.data());
+  const float f_back = in.f32();
+  const double d_back = in.f64();
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(f_back), std::bit_cast<std::uint32_t>(f_nan));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(d_back), std::bit_cast<std::uint64_t>(d_nan));
+  EXPECT_TRUE(std::signbit(in.f32()));
+  EXPECT_TRUE(std::isinf(in.f64()));
+}
+
+TEST(ByteWriterReader, VectorRoundTrip) {
+  const std::vector<float> f32s = {1.0F, -2.5F, 0.0F};
+  const std::vector<double> f64s = {0.1, -0.2};
+  const std::vector<std::uint64_t> u64s = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> u8s = {0xAA, 0xBB};
+  const std::vector<std::size_t> sizes = {0, 42, 1000000};
+
+  ByteWriter out;
+  out.vec_f32(f32s);
+  out.vec_f64(f64s);
+  out.vec_u64(u64s);
+  out.vec_u8(u8s);
+  out.vec_size(sizes);
+  out.vec_f32({});  // empty vectors round-trip too
+
+  ByteReader in(out.data());
+  EXPECT_EQ(in.vec_f32(), f32s);
+  EXPECT_EQ(in.vec_f64(), f64s);
+  EXPECT_EQ(in.vec_u64(), u64s);
+  EXPECT_EQ(in.vec_u8(), u8s);
+  EXPECT_EQ(in.vec_size(), sizes);
+  EXPECT_TRUE(in.vec_f32().empty());
+  EXPECT_TRUE(in.done());
+}
+
+TEST(ByteWriterReader, OverrunsThrow) {
+  ByteWriter out;
+  out.u32(7);
+  {
+    ByteReader in(out.data());
+    EXPECT_THROW(in.u64(), SerialError);  // 8 > 4 available
+  }
+  {
+    ByteReader in(out.data());
+    in.u32();
+    EXPECT_THROW(in.u8(), SerialError);  // past the end
+  }
+  {
+    ByteReader in({});
+    EXPECT_THROW(in.u8(), SerialError);
+    EXPECT_THROW(in.f64(), SerialError);
+    EXPECT_THROW(in.str(), SerialError);
+    EXPECT_THROW(in.vec_f32(), SerialError);
+  }
+}
+
+TEST(ByteWriterReader, TrailingBytesAreNamed) {
+  ByteWriter out;
+  out.u32(1);
+  out.u32(2);
+  ByteReader in(out.data());
+  in.u32();
+  try {
+    in.expect_end("widget state");
+    FAIL() << "expect_end accepted trailing bytes";
+  } catch (const SerialError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("widget state"), std::string::npos) << what;
+  }
+}
+
+TEST(ByteWriterReader, BadBooleanEncodingIsRejected) {
+  const std::vector<std::uint8_t> bytes = {2};
+  ByteReader in(bytes);
+  EXPECT_THROW(in.boolean(), SerialError);
+}
+
+// A length prefix larger than the remaining buffer must be rejected
+// *before* allocation — a 2^60 count must not attempt a giant vector.
+TEST(ByteWriterReader, HugeLengthPrefixesAreRejectedWithoutAllocating) {
+  ByteWriter out;
+  out.u64(std::uint64_t{1} << 60);
+  {
+    ByteReader in(out.data());
+    EXPECT_THROW(in.vec_f32(), SerialError);
+  }
+  {
+    ByteReader in(out.data());
+    EXPECT_THROW(in.vec_u8(), SerialError);
+  }
+  {
+    ByteReader in(out.data());
+    EXPECT_THROW(in.str(), SerialError);
+  }
+}
+
+TEST(Fnv1a64, KnownVectorsAndSensitivity) {
+  // FNV-1a offset basis: hash of the empty input.
+  EXPECT_EQ(fnv1a64({}), 0xCBF29CE484222325ULL);
+  const std::vector<std::uint8_t> a = {'a'};
+  EXPECT_EQ(fnv1a64(a), 0xAF63DC4C8601EC8CULL);
+  // One flipped bit changes the digest.
+  const std::vector<std::uint8_t> x = {1, 2, 3, 4};
+  std::vector<std::uint8_t> y = x;
+  y[2] ^= 0x01;
+  EXPECT_NE(fnv1a64(x), fnv1a64(y));
+}
+
+TEST(RngSerialization, WriteReadRoundTripContinuesIdentically) {
+  Rng rng(987);
+  for (int i = 0; i < 37; ++i) rng.next_u64();
+  (void)rng.normal();  // prime the Box-Muller cache so it is carried too
+
+  ByteWriter out;
+  write_rng(out, rng);
+  ByteReader in(out.data());
+  Rng restored = read_rng(in);
+  EXPECT_TRUE(in.done());
+
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.next_u64(), restored.next_u64());
+  }
+  EXPECT_EQ(rng.normal(), restored.normal());
+}
+
+}  // namespace
+}  // namespace helcfl::util
