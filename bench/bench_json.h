@@ -2,9 +2,9 @@
 //
 // The micro benches report to the console as usual and additionally write
 // a small JSON file (one object per benchmark: name, ns/op, items/sec,
-// iterations) so CI and before/after comparisons can diff numbers without
-// scraping console tables.  Override the output path with
-// --bench-json=<path>.
+// iterations, plus any user counters such as p99 latencies) so CI and
+// before/after comparisons can diff numbers without scraping console
+// tables.  Override the output path with --bench-json=<path>.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/ops.h"
@@ -42,9 +43,12 @@ class JsonTeeReporter : public benchmark::BenchmarkReporter {
                           ? run.real_accumulated_time /
                                 static_cast<double>(run.iterations) * 1e9
                           : 0.0;
-      const auto items = run.counters.find("items_per_second");
-      if (items != run.counters.end()) {
-        row.items_per_sec = static_cast<double>(items->second);
+      for (const auto& [name, counter] : run.counters) {
+        if (name == "items_per_second") {
+          row.items_per_sec = static_cast<double>(counter);
+        } else {
+          row.counters.emplace_back(name, static_cast<double>(counter));
+        }
       }
       rows_.push_back(std::move(row));
     }
@@ -63,8 +67,11 @@ class JsonTeeReporter : public benchmark::BenchmarkReporter {
       const Row& r = rows_[i];
       out << "    {\"name\": \"" << escape(r.name) << "\", \"ns_per_op\": "
           << r.ns_per_op << ", \"items_per_sec\": " << r.items_per_sec
-          << ", \"iterations\": " << r.iterations << "}"
-          << (i + 1 < rows_.size() ? "," : "") << "\n";
+          << ", \"iterations\": " << r.iterations;
+      for (const auto& [name, value] : r.counters) {
+        out << ", \"" << escape(name) << "\": " << value;
+      }
+      out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::cout << "wrote " << rows_.size() << " benchmark rows to " << path_
@@ -77,6 +84,8 @@ class JsonTeeReporter : public benchmark::BenchmarkReporter {
     double ns_per_op = 0.0;
     double items_per_sec = 0.0;
     double iterations = 0.0;
+    /// Every other user counter (e.g. p99 latencies), in counter order.
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   static std::string escape(const std::string& s) {

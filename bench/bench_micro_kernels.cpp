@@ -48,6 +48,8 @@ void BM_GemmABt(benchmark::State& state) {
     tensor::gemm_a_bt(n, n, n, a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_GemmABt)->Arg(64);
 
@@ -60,6 +62,8 @@ void BM_DenseForward(benchmark::State& state) {
     Tensor y = layer.forward(x, false);
     benchmark::DoNotOptimize(y.data().data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
 }
 BENCHMARK(BM_DenseForward)->Arg(1)->Arg(32)->Arg(128);
 
@@ -76,6 +80,7 @@ void BM_DenseTrainStep(benchmark::State& state) {
     Tensor dx = layer.backward(dy);
     benchmark::DoNotOptimize(dx.data().data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
 }
 BENCHMARK(BM_DenseTrainStep);
 
@@ -88,6 +93,8 @@ void BM_Conv2DForward(benchmark::State& state) {
     Tensor y = conv.forward(x, false);
     benchmark::DoNotOptimize(y.data().data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
 }
 BENCHMARK(BM_Conv2DForward)->Arg(1)->Arg(32);
 
@@ -112,6 +119,7 @@ void BM_Conv2DTrainStep(benchmark::State& state) {
   if (tensor::scratch_realloc_count() != reallocs_before) {
     state.SkipWithError("scratch grew during steady-state Conv2D training");
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
 }
 BENCHMARK(BM_Conv2DTrainStep);
 
@@ -127,6 +135,8 @@ void BM_SoftmaxCrossEntropy(benchmark::State& state) {
     nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
     benchmark::DoNotOptimize(loss.loss);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
 }
 BENCHMARK(BM_SoftmaxCrossEntropy)->Arg(32)->Arg(256);
 
@@ -151,6 +161,7 @@ void BM_ModelTrainStep(benchmark::State& state) {
     benchmark::DoNotOptimize(loss.loss);
   }
   state.SetLabel(nn::model_kind_name(kind));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 40);
 }
 BENCHMARK(BM_ModelTrainStep)
     ->Arg(static_cast<int>(nn::ModelKind::kMlp))
@@ -161,11 +172,15 @@ void BM_ExtractLoadParameters(benchmark::State& state) {
   util::Rng rng(9);
   const nn::ImageSpec spec{3, 8, 8};
   auto model = nn::make_mlp(spec, 64, 10, rng);
+  std::size_t n_params = 0;
   for (auto _ : state) {
     std::vector<float> flat = nn::extract_parameters(*model);
     nn::load_parameters(*model, flat);
+    n_params = flat.size();
     benchmark::DoNotOptimize(flat.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_params));
 }
 BENCHMARK(BM_ExtractLoadParameters);
 

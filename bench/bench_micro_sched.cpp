@@ -33,10 +33,14 @@ std::vector<sched::UserInfo> make_users(std::size_t q) {
 void BM_GreedyDecaySelect(benchmark::State& state) {
   const auto users = make_users(static_cast<std::size_t>(state.range(0)));
   core::GreedyDecaySelector selector(0.1, 0.9);
+  std::size_t picked = 0;
   for (auto _ : state) {
     auto selected = selector.select({users});
+    picked = selected.size();
     benchmark::DoNotOptimize(selected.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(picked));
 }
 BENCHMARK(BM_GreedyDecaySelect)->Arg(100)->Arg(1000)->Arg(10000);
 
@@ -48,6 +52,8 @@ void BM_Algorithm3Dvfs(benchmark::State& state) {
     core::FrequencyPlan plan = core::determine_frequencies({users}, selected);
     benchmark::DoNotOptimize(plan.round_delay_s);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(selected.size()));
 }
 BENCHMARK(BM_Algorithm3Dvfs)->Arg(100)->Arg(1000);
 
@@ -55,10 +61,14 @@ void BM_HelcflFullDecision(benchmark::State& state) {
   const auto users = make_users(static_cast<std::size_t>(state.range(0)));
   core::HelcflScheduler scheduler({.fraction = 0.1, .eta = 0.9});
   std::size_t round = 0;
+  std::size_t picked = 0;
   for (auto _ : state) {
     sched::Decision d = scheduler.decide({users}, round++);
+    picked = d.selected.size();
     benchmark::DoNotOptimize(d.selected.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(picked));
 }
 BENCHMARK(BM_HelcflFullDecision)->Arg(100)->Arg(1000);
 
@@ -75,16 +85,22 @@ void BM_TdmaSchedule(benchmark::State& state) {
     mec::TdmaSchedule schedule = mec::schedule_uploads(compute, upload);
     benchmark::DoNotOptimize(schedule.round_delay_s);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_TdmaSchedule)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_FedCsDecision(benchmark::State& state) {
   const auto users = make_users(static_cast<std::size_t>(state.range(0)));
   sched::FedCsSelection strategy(/*deadline_s=*/8.0);
+  std::size_t picked = 0;
   for (auto _ : state) {
     sched::Decision d = strategy.decide({users}, 0);
+    picked = d.selected.size();
     benchmark::DoNotOptimize(d.selected.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(picked));
 }
 BENCHMARK(BM_FedCsDecision)->Arg(100)->Arg(1000);
 

@@ -90,8 +90,9 @@ void HelcflScheduler::do_save_state(util::ByteWriter& out) const {
   out.f64(options_.fraction);
   out.f64(options_.eta);
   out.boolean(options_.enable_dvfs);
-  const auto counters = selector_.appearance_counts();
-  out.vec_size({counters.data(), counters.size()});
+  // Selector frame: appearance counters, then the utility-index frame
+  // (initialized flag + delay cache) — deterministic, heap-layout-free.
+  selector_.save_state(out);
 }
 
 void HelcflScheduler::do_load_state(util::ByteReader& in) {
@@ -104,7 +105,7 @@ void HelcflScheduler::do_load_state(util::ByteReader& in) {
         "HelcflScheduler: state was saved under different options "
         "(fraction/eta/enable_dvfs mismatch)");
   }
-  selector_.restore_appearance_counts(in.vec_size());
+  selector_.load_state(in);
 }
 
 std::string HelcflScheduler::name() const {

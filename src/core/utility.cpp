@@ -7,8 +7,8 @@ namespace helcfl::core {
 
 double utility(std::size_t appearance_count, double t_cal_s, double t_com_s,
                double eta) {
-  if (eta <= 0.0 || eta >= 1.0) {
-    throw std::invalid_argument("utility: eta must be in (0, 1)");
+  if (eta <= 0.0 || eta > 1.0) {
+    throw std::invalid_argument("utility: eta must be in (0, 1]");
   }
   const double total_delay = t_cal_s + t_com_s;
   if (total_delay <= 0.0) {

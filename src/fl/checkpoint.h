@@ -54,7 +54,9 @@ class CheckpointError : public std::runtime_error {
 /// this; tests build them directly to probe the format.
 struct Checkpoint {
   static constexpr std::uint32_t kMagic = 0x504b4348;  ///< "HCKP" read LE
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: the HELCFL strategy payload gained the utility-index frame
+  /// (initialized flag + delay cache) after the appearance counters.
+  static constexpr std::uint32_t kVersion = 2;
 
   // --- identity: rejected on mismatch at resume ---
   std::uint64_t seed = 0;       ///< TrainerOptions::seed of the saved run

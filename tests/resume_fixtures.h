@@ -42,11 +42,13 @@ constexpr std::size_t kResumeUsers = 12;
 constexpr std::size_t kResumeRounds = 6;
 constexpr std::uint64_t kResumeSeed = 1234;
 
-/// Strategy names the equivalence matrix covers (SelectionStrategy::name()
-/// strings, which the checkpoint also validates on resume).
+/// Fixture keys the equivalence matrix covers.  Most are
+/// SelectionStrategy::name() strings; "HELCFL-eta1" is a configuration
+/// variant (η = 1, the tie-heavy no-decay regime) whose name() is still
+/// "HELCFL" — the checkpoint validates name(), not the fixture key.
 inline const std::vector<std::string>& resume_strategies() {
-  static const std::vector<std::string> kNames = {"HELCFL", "ClassicFL", "FedCS",
-                                                  "FEDL", "Oort"};
+  static const std::vector<std::string> kNames = {
+      "HELCFL", "HELCFL-eta1", "ClassicFL", "FedCS", "FEDL", "Oort"};
   return kNames;
 }
 
@@ -60,6 +62,12 @@ inline std::unique_ptr<sched::SelectionStrategy> make_resume_strategy(
   if (name == "HELCFL") {
     return std::make_unique<core::HelcflScheduler>(
         core::HelcflOptions{.fraction = 0.34, .eta = 0.9, .enable_dvfs = true});
+  }
+  if (name == "HELCFL-eta1") {
+    // η = 1 disables decay: every round is an all-ties ranking, the worst
+    // case for the utility index's stable-sort tie-break contract.
+    return std::make_unique<core::HelcflScheduler>(
+        core::HelcflOptions{.fraction = 0.34, .eta = 1.0, .enable_dvfs = true});
   }
   if (name == "ClassicFL") {
     return std::make_unique<sched::RandomSelection>(0.34, rng);

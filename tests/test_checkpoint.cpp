@@ -318,6 +318,119 @@ TEST_P(StrategyStateRoundTrip, CrossStrategyLoadIsRejected) {
   EXPECT_EQ(strategy_bytes(*target), before);
 }
 
+// --- utility-index frame adversarial cases (checkpoint v2) --------------
+//
+// The HELCFL strategy payload ends with the utility-index frame:
+//   ... vec_size counters | bool initialized | vec_f64 t_cal | vec_f64 t_com
+// These tests splice corrupt index frames into otherwise-valid strategy
+// frames; every mutation must be rejected with the strategy untouched.
+
+// Splits a strategy frame (str name + u64 payload length + payload) and
+// re-frames a tampered payload.
+std::vector<std::uint8_t> reframe_payload(const std::vector<std::uint8_t>& frame,
+                                          const std::vector<std::uint8_t>& payload) {
+  util::ByteReader reader(frame);
+  const std::string name = reader.str();
+  util::ByteWriter writer;
+  writer.str(name);
+  writer.u64(payload.size());
+  writer.raw(payload);
+  return writer.take();
+}
+
+std::vector<std::uint8_t> frame_payload(const std::vector<std::uint8_t>& frame) {
+  util::ByteReader reader(frame);
+  reader.str();
+  const std::uint64_t length = reader.u64();
+  const std::span<const std::uint8_t> payload = reader.raw(length);
+  return {payload.begin(), payload.end()};
+}
+
+// Rejecting a corrupt frame must not leave a partial restore behind: the
+// target still serializes to its pre-attempt bytes and keeps selecting.
+void expect_index_frame_rejected(const std::vector<std::uint8_t>& frame,
+                                 const std::string& message_piece) {
+  const std::unique_ptr<sched::SelectionStrategy> target =
+      testing::make_resume_strategy("HELCFL");
+  advance_strategy(*target, 5);
+  const std::vector<std::uint8_t> before = strategy_bytes(*target);
+  util::ByteReader reader(frame);
+  try {
+    target->load_state(reader);
+    FAIL() << "accepted a corrupt index frame (wanted error containing '"
+           << message_piece << "')";
+  } catch (const util::SerialError& error) {
+    EXPECT_NE(std::string(error.what()).find(message_piece), std::string::npos)
+        << "got: " << error.what();
+  }
+  EXPECT_EQ(strategy_bytes(*target), before);
+  advance_strategy(*target, 1, 5);  // still functional after the rejection
+}
+
+class IndexFrameAdversarial : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::unique_ptr<sched::SelectionStrategy> source =
+        testing::make_resume_strategy("HELCFL");
+    advance_strategy(*source, 7);
+    frame_ = strategy_bytes(*source);
+    payload_ = frame_payload(frame_);
+    // The index delay caches are two 12-user vec_f64s at the payload tail.
+    ASSERT_GT(payload_.size(), 2 * kVecBytes);
+  }
+
+  static constexpr std::size_t kVecBytes = 8 + 12 * 8;  // u64 count + doubles
+
+  std::vector<std::uint8_t> frame_;
+  std::vector<std::uint8_t> payload_;
+};
+
+TEST_F(IndexFrameAdversarial, TruncatedDelayCacheIsRejected) {
+  // Drop the final t_com double; the vec_f64 read overruns the payload.
+  std::vector<std::uint8_t> payload = payload_;
+  payload.resize(payload.size() - 8);
+  expect_index_frame_rejected(reframe_payload(frame_, payload), "");
+}
+
+TEST_F(IndexFrameAdversarial, DelayCacheSizeMismatchIsRejected) {
+  // Rewrite t_com as an 11-element vector against 12 counters.
+  std::vector<std::uint8_t> payload(payload_.begin(),
+                                    payload_.end() - static_cast<long>(kVecBytes));
+  util::ByteWriter t_com;
+  t_com.u64(11);
+  payload.insert(payload.end(), t_com.data().begin(), t_com.data().end());
+  payload.insert(payload.end(), payload_.end() - static_cast<long>(kVecBytes) + 8,
+                 payload_.end() - 8);
+  expect_index_frame_rejected(reframe_payload(frame_, payload), "delay");
+}
+
+TEST_F(IndexFrameAdversarial, NegativeCachedDelayIsRejected) {
+  // Flip the sign bit of the last t_cal double (little-endian: high byte),
+  // driving that user's cached total delay negative.
+  std::vector<std::uint8_t> payload = payload_;
+  payload[payload.size() - kVecBytes - 1] ^= 0x80;
+  expect_index_frame_rejected(reframe_payload(frame_, payload), "delay");
+}
+
+TEST_F(IndexFrameAdversarial, UninitializedIndexFlagRoundTrips) {
+  // A never-selected strategy saves initialized=false; that frame must
+  // restore to a selector whose first select() builds the index afresh.
+  const std::unique_ptr<sched::SelectionStrategy> fresh =
+      testing::make_resume_strategy("HELCFL");
+  const std::vector<std::uint8_t> initial = strategy_bytes(*fresh);
+  const std::unique_ptr<sched::SelectionStrategy> restored =
+      testing::make_resume_strategy("HELCFL");
+  advance_strategy(*restored, 3);  // index initialized...
+  util::ByteReader reader(initial);
+  restored->load_state(reader);    // ...then wound back to the blank frame
+  EXPECT_EQ(strategy_bytes(*restored), initial);
+  advance_strategy(*restored, 4);
+  const std::unique_ptr<sched::SelectionStrategy> never_restored =
+      testing::make_resume_strategy("HELCFL");
+  advance_strategy(*never_restored, 4);
+  EXPECT_EQ(strategy_bytes(*restored), strategy_bytes(*never_restored));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyStateRoundTrip,
                          ::testing::ValuesIn(testing::resume_strategies()),
                          [](const ::testing::TestParamInfo<std::string>& info) {

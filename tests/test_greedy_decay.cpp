@@ -13,9 +13,10 @@ using testing::users_with_delays;
 
 TEST(GreedyDecay, RejectsBadParameters) {
   EXPECT_THROW(GreedyDecaySelector(0.1, 0.0), std::invalid_argument);
-  EXPECT_THROW(GreedyDecaySelector(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(GreedyDecaySelector(0.1, 1.5), std::invalid_argument);
   EXPECT_THROW(GreedyDecaySelector(0.0, 0.9), std::invalid_argument);
   EXPECT_THROW(GreedyDecaySelector(1.5, 0.9), std::invalid_argument);
+  EXPECT_NO_THROW(GreedyDecaySelector(0.1, 1.0));  // no-decay regime
 }
 
 TEST(GreedyDecay, FirstRoundPicksFastestUsers) {
@@ -126,6 +127,124 @@ TEST(GreedyDecay, LongRunParticipationIsBalanced) {
   const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
   EXPECT_GT(*min_it, 0u);
   EXPECT_LT(static_cast<double>(*max_it) / static_cast<double>(*min_it), 2.0);
+}
+
+// --- edge cases of the incremental-index selector ------------------------
+
+TEST(GreedyDecayEdge, RevokeToZeroIsSaturating) {
+  const auto users = users_with_delays({{1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}});
+  GreedyDecaySelector selector(0.34, 0.9);
+  const auto first = selector.select({users});
+  ASSERT_EQ(first, (std::vector<std::size_t>{0}));
+  // Revoke the one appearance, then revoke again: the counter saturates at
+  // zero instead of wrapping, and revoking a never-selected user is a no-op.
+  selector.revoke_appearance(0);
+  selector.revoke_appearance(0);
+  selector.revoke_appearance(1);
+  selector.revoke_appearance(99);  // out of range: ignored
+  const auto counts = selector.appearance_counts();
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 0u);
+  // With the decay undone, the next round repeats the first pick exactly.
+  EXPECT_EQ(selector.select({users}), first);
+}
+
+TEST(GreedyDecayEdge, AllDepletedFleetSelectsNobody) {
+  const auto users = users_with_delays({{1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}});
+  const std::vector<std::uint8_t> dead(users.size(), 0);
+  GreedyDecaySelector selector(0.5, 0.9);
+  EXPECT_TRUE(selector.select({users, dead}).empty());
+  // The first call still pins the fleet size (counters allocated)...
+  EXPECT_EQ(selector.appearance_counts().size(), users.size());
+  // ... and a later all-alive round works off the same index.
+  EXPECT_EQ(selector.select({users}).size(), 2u);
+  // Back to all-dead mid-run: still nobody, and no counter moves.
+  const std::vector<std::size_t> before(selector.appearance_counts().begin(),
+                                        selector.appearance_counts().end());
+  EXPECT_TRUE(selector.select({users, dead}).empty());
+  EXPECT_EQ(std::vector<std::size_t>(selector.appearance_counts().begin(),
+                                     selector.appearance_counts().end()),
+            before);
+}
+
+TEST(GreedyDecayEdge, SelectionCappedByAliveUsers) {
+  // N = max(Q*C, 1) = 4, but only 2 users are alive: the round takes 2.
+  const auto users =
+      users_with_delays({{1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}, {4.0, 0.5}});
+  const std::vector<std::uint8_t> alive = {0, 1, 0, 1};
+  GreedyDecaySelector selector(1.0, 0.9);
+  EXPECT_EQ(selector.select({users, alive}), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(GreedyDecayEdge, RestorePinsFleetSize) {
+  const auto two = users_with_delays({{1.0, 0.5}, {2.0, 0.5}});
+  const auto three = users_with_delays({{1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}});
+  GreedyDecaySelector selector(0.5, 0.9);
+  // A non-empty restore pins the fleet to its size...
+  selector.restore_appearance_counts({9, 0, 0});
+  EXPECT_THROW(selector.select({two}), std::invalid_argument);
+  const auto picked = selector.select({three});
+  // alpha = {9, 0, 0}: 0.9^9/1.5 < 1/3.5 < 1/2.5 — the restored decay
+  // pushes the fastest user below both never-selected ones.
+  EXPECT_EQ(picked, (std::vector<std::size_t>{1, 2}));
+  // ... and an empty restore returns to the fully unpinned state.
+  selector.restore_appearance_counts({});
+  EXPECT_TRUE(selector.appearance_counts().empty());
+  EXPECT_EQ(selector.select({two}).size(), 1u);
+}
+
+TEST(GreedyDecayEdge, SingleUserFleet) {
+  const auto users = users_with_delays({{1.0, 0.5}});
+  GreedyDecaySelector selector(0.01, 0.9);  // N = max(Q*C, 1) = 1
+  for (std::size_t round = 0; round < 50; ++round) {
+    EXPECT_EQ(selector.select({users}), (std::vector<std::size_t>{0}));
+  }
+  EXPECT_EQ(selector.appearance_counts()[0], 50u);
+}
+
+TEST(GreedyDecayEdge, EtaOneNeverRotates) {
+  // eta = 1: no decay, the fastest user wins every round and ties keep
+  // resolving to the lowest index.
+  const auto users = users_with_delays({{1.0, 0.0}, {1.0, 0.0}, {4.0, 0.0}});
+  GreedyDecaySelector selector(0.34, 1.0);
+  for (std::size_t round = 0; round < 30; ++round) {
+    EXPECT_EQ(selector.select({users}), (std::vector<std::size_t>{0}));
+  }
+  EXPECT_EQ(selector.appearance_counts()[0], 30u);
+  EXPECT_EQ(selector.appearance_counts()[1], 0u);
+}
+
+TEST(GreedyDecayEdge, DelayReportUpdatesReRankNextRound) {
+  // A per-round delay report (e.g. a refreshed T^com) must re-rank the
+  // affected user immediately — the index refresh path.
+  auto users = users_with_delays({{1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}});
+  GreedyDecaySelector selector(0.34, 0.99);
+  EXPECT_EQ(selector.select({users}), (std::vector<std::size_t>{0}));
+  users[2].t_cal_max_s = 0.1;  // the slowest user reports a tiny new delay
+  EXPECT_EQ(selector.select({users}), (std::vector<std::size_t>{2}));
+  EXPECT_GT(selector.index().delay_refreshes(), 0u);
+}
+
+TEST(GreedyDecayEdge, SelectorStateRoundTripsThroughBytes) {
+  const auto users = users_with_delays({{1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}});
+  GreedyDecaySelector a(0.34, 0.9);
+  for (std::size_t round = 0; round < 9; ++round) (void)a.select({users});
+  util::ByteWriter saved;
+  a.save_state(saved);
+
+  GreedyDecaySelector b(0.34, 0.9);
+  util::ByteReader reader(saved.data());
+  b.load_state(reader);
+  reader.expect_end("selector state");
+
+  // The restored selector continues identically, and its serialization is
+  // deterministic (save -> load -> save is byte-identical).
+  util::ByteWriter resaved;
+  b.save_state(resaved);
+  EXPECT_EQ(saved.data(), resaved.data());
+  for (std::size_t round = 0; round < 9; ++round) {
+    EXPECT_EQ(a.select({users}), b.select({users}));
+  }
 }
 
 }  // namespace

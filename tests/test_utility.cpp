@@ -42,9 +42,17 @@ TEST(Utility, GeometricDecayRatio) {
 
 TEST(Utility, RejectsBadEta) {
   EXPECT_THROW(utility(0, 1.0, 1.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(utility(0, 1.0, 1.0, 1.0), std::invalid_argument);
   EXPECT_THROW(utility(0, 1.0, 1.0, -0.5), std::invalid_argument);
   EXPECT_THROW(utility(0, 1.0, 1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(utility(0, 1.0, 1.0, std::nextafter(1.0, 2.0)),
+               std::invalid_argument);
+}
+
+TEST(Utility, EtaOneDisablesDecay) {
+  // The tie-heavy degenerate regime: u_q = 1/delay for every alpha_q.
+  for (std::size_t a = 0; a < 100; a += 7) {
+    EXPECT_EQ(utility(a, 1.5, 0.5, 1.0), 0.5);
+  }
 }
 
 TEST(Utility, RejectsNonPositiveDelay) {

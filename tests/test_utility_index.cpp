@@ -1,0 +1,211 @@
+// Direct unit tests of the incremental utility index (DESIGN.md §12):
+// ordering and tie-break contract, lazy deletion, parking/revival, delay
+// refresh, compaction bounds, and deterministic serialization.  End-to-end
+// equivalence with the naive selector lives in
+// tests/test_selection_differential.cpp.
+#include "core/utility_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/utility.h"
+#include "fl_fixtures.h"
+#include "util/serial.h"
+
+namespace helcfl::core {
+namespace {
+
+using testing::users_with_delays;
+
+std::vector<UtilityIndex::Pick> top(UtilityIndex& index,
+                                    const sched::FleetView& fleet, std::size_t n) {
+  std::vector<UtilityIndex::Pick> picks;
+  index.extract_top(fleet, n, picks);
+  return picks;
+}
+
+// Re-inserts extracted users unchanged (callers that only peeked).
+void reinsert(UtilityIndex& index, std::span<const std::size_t> counters,
+              const std::vector<UtilityIndex::Pick>& picks) {
+  for (const auto& pick : picks) index.update_counter(pick.user, counters[pick.user]);
+}
+
+TEST(UtilityIndex, RejectsBadEta) {
+  EXPECT_THROW(UtilityIndex(0.0), std::invalid_argument);
+  EXPECT_THROW(UtilityIndex(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(UtilityIndex(1.0));
+}
+
+TEST(UtilityIndex, ExtractsInUtilityThenIndexOrder) {
+  const auto users =
+      users_with_delays({{2.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}, {4.0, 0.0}});
+  const std::vector<std::size_t> counters(4, 0);
+  UtilityIndex index(0.9);
+  index.build(users, counters);
+  ASSERT_TRUE(index.initialized());
+  const auto picks = top(index, {users}, 4);
+  ASSERT_EQ(picks.size(), 4u);
+  // Users 1 and 2 tie at 1.0; the lower index wins (stable-sort contract).
+  EXPECT_EQ(picks[0].user, 1u);
+  EXPECT_EQ(picks[1].user, 2u);
+  EXPECT_EQ(picks[2].user, 0u);
+  EXPECT_EQ(picks[3].user, 3u);
+  // Utilities are the bit-exact Eq. (20) values.
+  EXPECT_EQ(picks[0].utility, utility(0, 1.0, 0.0, 0.9));
+  EXPECT_EQ(picks[2].utility, utility(0, 2.0, 0.0, 0.9));
+}
+
+TEST(UtilityIndex, CounterUpdateReRanks) {
+  const auto users = users_with_delays({{1.0, 0.0}, {1.5, 0.0}});
+  std::vector<std::size_t> counters = {0, 0};
+  UtilityIndex index(0.5);
+  index.build(users, counters);
+  // Decay user 0 below user 1 without extracting first: the build-time
+  // user-0 entry (utility 1.0) goes stale in place.  0.5^1/1.0 = 0.5 < 1/1.5.
+  counters[0] = 1;
+  index.update_counter(0, 1);
+  const auto picks = top(index, {users}, 2);
+  EXPECT_EQ(picks[0].user, 1u);
+  EXPECT_EQ(picks[1].user, 0u);
+  EXPECT_GT(index.stale_discards(), 0u);  // the old user-0 entry was lazily dropped
+}
+
+TEST(UtilityIndex, ParksDeadUsersAndRevivesThem) {
+  const auto users = users_with_delays({{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}});
+  const std::vector<std::size_t> counters(3, 0);
+  UtilityIndex index(0.9);
+  index.build(users, counters);
+
+  std::vector<std::uint8_t> alive = {0, 1, 1};
+  auto picks = top(index, {users, alive}, 2);
+  EXPECT_EQ(picks[0].user, 1u);  // user 0 surfaced dead -> parked
+  EXPECT_EQ(picks[1].user, 2u);
+  reinsert(index, counters, picks);
+
+  // Revived: the prologue re-inserts user 0 at its full utility.
+  alive[0] = 1;
+  index.begin_round({users, alive}, counters);
+  picks = top(index, {users, alive}, 3);
+  EXPECT_EQ(picks[0].user, 0u);
+  reinsert(index, counters, picks);
+}
+
+TEST(UtilityIndex, DelaySweepRefreshesChangedUsersOnly) {
+  auto users = users_with_delays({{1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}});
+  const std::vector<std::size_t> counters(3, 0);
+  UtilityIndex index(0.9);
+  index.build(users, counters);
+  index.begin_round({users}, counters);
+  EXPECT_EQ(index.delay_refreshes(), 0u);  // nothing changed: pure verify
+
+  users[1].t_com_s = 0.125;
+  index.begin_round({users}, counters);
+  EXPECT_EQ(index.delay_refreshes(), 1u);
+  const auto picks = top(index, {users}, 3);
+  EXPECT_EQ(picks[1].user, 1u);  // re-ranked: 1/2.125 > 1/3.5
+  EXPECT_EQ(picks[1].utility, utility(0, 2.0, 0.125, 0.9));
+}
+
+TEST(UtilityIndex, CompactionBoundsTheHeap) {
+  const std::size_t q = 64;
+  std::vector<std::pair<double, double>> delays;
+  for (std::size_t i = 0; i < q; ++i) {
+    delays.push_back({1.0 + 0.01 * static_cast<double>(i), 0.5});
+  }
+  const auto users = users_with_delays(delays);
+  std::vector<std::size_t> counters(q, 0);
+  UtilityIndex index(0.9);
+  index.build(users, counters);
+  // Hammer the index with updates that are never popped (revoke-style
+  // churn): each one strands a stale entry, garbage accrues, and the
+  // prologue's compaction keeps the heap within its documented bound.
+  for (std::size_t round = 0; round < 200; ++round) {
+    index.begin_round({users}, counters);
+    EXPECT_LE(index.heap_entries(), 2 * q + 64);
+    for (std::size_t u = 0; u < q; ++u) index.update_counter(u, counters[u]);
+  }
+  EXPECT_GT(index.compactions(), 0u);
+}
+
+TEST(UtilityIndex, ExtractingWithoutReinsertionIsALogicError) {
+  const auto users = users_with_delays({{1.0, 0.0}, {2.0, 0.0}});
+  const std::vector<std::size_t> counters(2, 0);
+  UtilityIndex index(0.9);
+  index.build(users, counters);
+  std::vector<UtilityIndex::Pick> picks;
+  index.extract_top({users}, 2, picks);  // both entries removed, none returned
+  EXPECT_THROW(index.extract_top({users}, 1, picks), std::logic_error);
+}
+
+TEST(UtilityIndex, SerializationIsDeterministicAndHeapLayoutFree) {
+  const auto users = users_with_delays({{1.0, 0.5}, {2.0, 0.5}, {3.0, 0.5}});
+  std::vector<std::size_t> counters = {4, 0, 2};
+  UtilityIndex a(0.9);
+  a.build(users, counters);
+  // Churn a's heap layout: updates and extractions leave garbage around.
+  for (std::size_t i = 0; i < 10; ++i) a.update_counter(1, 0);
+  util::ByteWriter bytes_a;
+  a.save(bytes_a);
+
+  // A freshly built index over the same logical state serializes identically.
+  UtilityIndex b(0.9);
+  b.build(users, counters);
+  util::ByteWriter bytes_b;
+  b.save(bytes_b);
+  EXPECT_EQ(bytes_a.data(), bytes_b.data());
+
+  // load -> save round-trips, and the loaded index ranks identically.
+  UtilityIndex c(0.9);
+  util::ByteReader reader(bytes_a.data());
+  c.load(reader, counters);
+  reader.expect_end("index frame");
+  util::ByteWriter bytes_c;
+  c.save(bytes_c);
+  EXPECT_EQ(bytes_c.data(), bytes_a.data());
+  auto picks_b = top(b, {users}, 3);
+  auto picks_c = top(c, {users}, 3);
+  ASSERT_EQ(picks_b.size(), picks_c.size());
+  for (std::size_t k = 0; k < picks_b.size(); ++k) {
+    EXPECT_EQ(picks_b[k].user, picks_c[k].user);
+    EXPECT_EQ(picks_b[k].utility, picks_c[k].utility);
+  }
+}
+
+TEST(UtilityIndex, LoadRejectsMalformedFrames) {
+  const std::vector<std::size_t> counters = {0, 0, 0};
+  // Delay cache sized for 2 users against 3 counters.
+  util::ByteWriter wrong_size;
+  wrong_size.boolean(true);
+  wrong_size.vec_f64(std::vector<double>{1.0, 2.0});
+  wrong_size.vec_f64(std::vector<double>{0.5, 0.5});
+  {
+    UtilityIndex index(0.9);
+    util::ByteReader reader(wrong_size.data());
+    EXPECT_THROW(index.load(reader, counters), util::SerialError);
+    EXPECT_FALSE(index.initialized());  // nothing committed
+  }
+  // Non-positive cached delay.
+  util::ByteWriter bad_delay;
+  bad_delay.boolean(true);
+  bad_delay.vec_f64(std::vector<double>{1.0, -2.0, 3.0});
+  bad_delay.vec_f64(std::vector<double>{0.5, 0.5, 0.5});
+  {
+    UtilityIndex index(0.9);
+    util::ByteReader reader(bad_delay.data());
+    EXPECT_THROW(index.load(reader, counters), util::SerialError);
+    EXPECT_FALSE(index.initialized());
+  }
+  // Truncated frame (flag only).
+  util::ByteWriter truncated;
+  truncated.boolean(true);
+  {
+    UtilityIndex index(0.9);
+    util::ByteReader reader(truncated.data());
+    EXPECT_THROW(index.load(reader, counters), util::SerialError);
+    EXPECT_FALSE(index.initialized());
+  }
+}
+
+}  // namespace
+}  // namespace helcfl::core
