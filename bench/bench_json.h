@@ -43,6 +43,9 @@ class JsonTeeReporter : public benchmark::BenchmarkReporter {
                           ? run.real_accumulated_time /
                                 static_cast<double>(run.iterations) * 1e9
                           : 0.0;
+      // Wall-clock seconds the measured iterations actually took — a rate
+      // (items_per_second) without its measurement window is unauditable.
+      row.duration_s = run.real_accumulated_time;
       for (const auto& [name, counter] : run.counters) {
         if (name == "items_per_second") {
           row.items_per_sec = static_cast<double>(counter);
@@ -67,6 +70,7 @@ class JsonTeeReporter : public benchmark::BenchmarkReporter {
       const Row& r = rows_[i];
       out << "    {\"name\": \"" << escape(r.name) << "\", \"ns_per_op\": "
           << r.ns_per_op << ", \"items_per_sec\": " << r.items_per_sec
+          << ", \"duration_s\": " << r.duration_s
           << ", \"iterations\": " << r.iterations;
       for (const auto& [name, value] : r.counters) {
         out << ", \"" << escape(name) << "\": " << value;
@@ -83,6 +87,7 @@ class JsonTeeReporter : public benchmark::BenchmarkReporter {
     std::string name;
     double ns_per_op = 0.0;
     double items_per_sec = 0.0;
+    double duration_s = 0.0;
     double iterations = 0.0;
     /// Every other user counter (e.g. p99 latencies), in counter order.
     std::vector<std::pair<std::string, double>> counters;

@@ -1,14 +1,17 @@
 #include "fl/checkpoint.h"
 
-#include <cstdio>
-#include <fstream>
-#include <iterator>
+#include "util/file_io.h"
 
 namespace helcfl::fl {
 
 namespace {
 
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+// Smallest possible wire size of one RoundRecord: 16 fixed 8-byte fields
+// (u64/f64), two empty vec_size (8-byte count each), and two booleans.
+// Used to cap an adversarial record count before reserving for it.
+constexpr std::size_t kMinRecordBytes = 16 * 8 + 2 * 8 + 2;
 
 void write_record(util::ByteWriter& out, const RoundRecord& r) {
   out.u64(static_cast<std::uint64_t>(r.round));
@@ -168,6 +171,15 @@ Checkpoint Checkpoint::deserialize(std::span<const std::uint8_t> bytes) {
     ckpt.batteries_enabled = payload.boolean();
     ckpt.battery_state = payload.vec_u8();
     const std::uint64_t n_records = payload.u64();
+    // A checksum-valid but adversarial (or version-confused) file can still
+    // declare an absurd record count; bound it by what the remaining bytes
+    // could possibly encode before allocating anything.
+    if (n_records > payload.remaining() / kMinRecordBytes) {
+      throw CheckpointError(
+          "checkpoint declares " + std::to_string(n_records) +
+          " round records but only " + std::to_string(payload.remaining()) +
+          " payload byte(s) remain — corrupted or malformed");
+    }
     ckpt.records.reserve(static_cast<std::size_t>(n_records));
     for (std::uint64_t i = 0; i < n_records; ++i) {
       ckpt.records.push_back(read_record(payload));
@@ -183,36 +195,19 @@ Checkpoint Checkpoint::deserialize(std::span<const std::uint8_t> bytes) {
 }
 
 void Checkpoint::write_file(const std::string& path) const {
-  const std::vector<std::uint8_t> bytes = serialize();
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw CheckpointError("cannot open '" + tmp + "' for writing");
-    }
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      throw CheckpointError("failed to write checkpoint to '" + tmp + "'");
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw CheckpointError("failed to rename '" + tmp + "' to '" + path + "'");
+  try {
+    util::write_file_atomic(path, serialize());
+  } catch (const std::runtime_error& error) {
+    throw CheckpointError(std::string("checkpoint: ") + error.what());
   }
 }
 
 Checkpoint Checkpoint::read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw CheckpointError("cannot open checkpoint '" + path + "' for reading");
-  }
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    throw CheckpointError("failed to read checkpoint '" + path + "'");
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = util::read_file_bytes(path);
+  } catch (const std::runtime_error& error) {
+    throw CheckpointError(std::string("checkpoint: ") + error.what());
   }
   try {
     return deserialize(bytes);

@@ -1,0 +1,57 @@
+#include "svc/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace helcfl::svc {
+
+void RetryOptions::validate() const {
+  if (base_delay_ticks == 0) {
+    throw std::invalid_argument("RetryOptions: base_delay_ticks must be >= 1");
+  }
+  if (!(backoff_multiplier >= 1.0) || !std::isfinite(backoff_multiplier)) {
+    throw std::invalid_argument(
+        "RetryOptions: backoff_multiplier = " + std::to_string(backoff_multiplier) +
+        " must be a finite multiplier >= 1");
+  }
+  if (max_delay_ticks < base_delay_ticks) {
+    throw std::invalid_argument(
+        "RetryOptions: max_delay_ticks (" + std::to_string(max_delay_ticks) +
+        ") must be >= base_delay_ticks (" + std::to_string(base_delay_ticks) + ")");
+  }
+  if (!(jitter >= 0.0 && jitter < 1.0)) {
+    throw std::invalid_argument("RetryOptions: jitter = " + std::to_string(jitter) +
+                                " must be in [0, 1)");
+  }
+  if (max_attempts == 0) {
+    throw std::invalid_argument("RetryOptions: max_attempts must be >= 1");
+  }
+}
+
+RetryPolicy::RetryPolicy(const RetryOptions& options) : options_(options) {
+  options_.validate();
+}
+
+std::uint64_t RetryPolicy::delay_before_retry(std::size_t retry,
+                                              util::Rng& rng) const {
+  if (retry == 0) {
+    throw std::invalid_argument(
+        "RetryPolicy::delay_before_retry: retry index is 1-based");
+  }
+  // Exponential growth with a ceiling; computed in doubles so a large
+  // retry index saturates at max_delay_ticks instead of overflowing.
+  const double raw = static_cast<double>(options_.base_delay_ticks) *
+                     std::pow(options_.backoff_multiplier,
+                              static_cast<double>(retry - 1));
+  const double capped =
+      std::min(raw, static_cast<double>(options_.max_delay_ticks));
+  // Multiplicative jitter in [1 - j, 1 + j); the draw happens even for
+  // jitter = 0 so the caller's stream advances identically across configs.
+  const double factor = 1.0 + options_.jitter * (2.0 * rng.uniform() - 1.0);
+  const double jittered = capped * factor;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(jittered)));
+}
+
+}  // namespace helcfl::svc

@@ -1,0 +1,53 @@
+// Client-side retry schedule: exponential backoff with jitter, bounded
+// attempts (DESIGN.md §13).
+//
+// Every request the service client sends (device report, decision request)
+// is retransmitted on this schedule until the matching response arrives or
+// the attempt budget is exhausted.  Jitter decorrelates retry storms when
+// many devices lose the same round of acks; determinism is preserved
+// because the jitter draws come from the caller's seeded stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace helcfl::svc {
+
+struct RetryOptions {
+  std::uint64_t base_delay_ticks = 2;   ///< backoff before the 1st retry
+  double backoff_multiplier = 2.0;      ///< delay growth per retry, >= 1
+  std::uint64_t max_delay_ticks = 32;   ///< backoff ceiling
+  double jitter = 0.25;                 ///< ± fraction applied to each delay,
+                                        ///< in [0, 1)
+  std::size_t max_attempts = 16;        ///< total transmissions (first + retries)
+
+  /// Throws std::invalid_argument with an actionable message on bad knobs.
+  void validate() const;
+};
+
+/// Stateless schedule calculator; the caller tracks attempt counts.
+class RetryPolicy {
+ public:
+  RetryPolicy() : RetryPolicy(RetryOptions{}) {}
+  explicit RetryPolicy(const RetryOptions& options);
+
+  /// Ticks to wait before retransmission number `retry` (1-based: the
+  /// value for retry = 1 schedules the first retransmission).  Exponential
+  /// in `retry`, capped at max_delay_ticks, jittered by ±jitter via `rng`,
+  /// and always >= 1 tick.
+  std::uint64_t delay_before_retry(std::size_t retry, util::Rng& rng) const;
+
+  /// True when `attempts_made` transmissions have used up the budget.
+  bool exhausted(std::size_t attempts_made) const {
+    return attempts_made >= options_.max_attempts;
+  }
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+};
+
+}  // namespace helcfl::svc

@@ -18,6 +18,15 @@ void append_le(std::vector<std::uint8_t>& buffer, T value) {
   }
 }
 
+/// Out-of-bounds reads name the offending offset so a malformed buffer
+/// can be diagnosed from the error message alone.
+[[noreturn]] void fail_overrun(std::size_t need, std::size_t offset,
+                               std::size_t size) {
+  throw SerialError("ByteReader: read of " + std::to_string(need) +
+                    " byte(s) at offset " + std::to_string(offset) +
+                    " past end of " + std::to_string(size) + "-byte buffer");
+}
+
 }  // namespace
 
 void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
@@ -62,12 +71,12 @@ void ByteWriter::vec_size(std::span<const std::size_t> v) {
 }
 
 std::uint8_t ByteReader::u8() {
-  if (remaining() < 1) throw SerialError("ByteReader: read past end of buffer");
+  if (remaining() < 1) fail_overrun(1, cursor_, data_.size());
   return data_[cursor_++];
 }
 
 std::uint32_t ByteReader::u32() {
-  if (remaining() < 4) throw SerialError("ByteReader: read past end of buffer");
+  if (remaining() < 4) fail_overrun(4, cursor_, data_.size());
   std::uint32_t v = 0;
   for (std::size_t i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(data_[cursor_ + i]) << (8 * i);
@@ -77,7 +86,7 @@ std::uint32_t ByteReader::u32() {
 }
 
 std::uint64_t ByteReader::u64() {
-  if (remaining() < 8) throw SerialError("ByteReader: read past end of buffer");
+  if (remaining() < 8) fail_overrun(8, cursor_, data_.size());
   std::uint64_t v = 0;
   for (std::size_t i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(data_[cursor_ + i]) << (8 * i);
@@ -103,19 +112,23 @@ std::string ByteReader::str() {
 }
 
 std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
-  if (remaining() < n) throw SerialError("ByteReader: read past end of buffer");
+  if (remaining() < n) fail_overrun(n, cursor_, data_.size());
   const auto view = data_.subspan(cursor_, n);
   cursor_ += n;
   return view;
 }
 
 std::size_t ByteReader::read_count(std::size_t elem_size) {
+  const std::size_t prefix_offset = cursor_;
   const std::uint64_t n = u64();
   // Reject counts the remaining bytes cannot possibly satisfy *before*
   // sizing a vector from them: a corrupt length prefix must fail cleanly,
   // not attempt a huge allocation.
   if (n > remaining() / elem_size) {
-    throw SerialError("ByteReader: length prefix exceeds remaining bytes");
+    throw SerialError("ByteReader: length prefix " + std::to_string(n) +
+                      " at offset " + std::to_string(prefix_offset) +
+                      " exceeds the " + std::to_string(remaining()) +
+                      " remaining byte(s)");
   }
   return static_cast<std::size_t>(n);
 }

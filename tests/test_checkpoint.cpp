@@ -124,6 +124,26 @@ TEST(CheckpointAdversarial, PayloadBitFlipsFailTheChecksum) {
   }
 }
 
+TEST(CheckpointAdversarial, HugeDeclaredRecordCountIsRejectedBeforeAllocating) {
+  // A checksum-VALID file declaring 2^60 round records must be rejected by
+  // the record-count bound, not by an attempted multi-GB reserve().  Build
+  // it honestly: serialize a record-free checkpoint, overwrite the count
+  // (the last 8 payload bytes), and re-seal the checksum.
+  Checkpoint ckpt = golden_checkpoint().parsed;
+  ckpt.records.clear();
+  std::vector<std::uint8_t> bytes = ckpt.serialize();
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + i] = static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  const std::uint64_t checksum = util::fnv1a64(
+      {bytes.data() + 24, bytes.size() - 24});
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[16 + i] = static_cast<std::uint8_t>(checksum >> (8 * i));
+  }
+  expect_rejected(bytes, "records");
+}
+
 TEST(CheckpointAdversarial, TrailingBytesAreRejected) {
   std::vector<std::uint8_t> bytes = golden_checkpoint().bytes;
   bytes.push_back(0);

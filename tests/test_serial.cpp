@@ -116,6 +116,41 @@ TEST(ByteWriterReader, OverrunsThrow) {
   }
 }
 
+TEST(ByteWriterReader, OverrunErrorsNameTheOffendingOffset) {
+  // A read past the end must say what was asked, where, and of how much —
+  // "read past end" alone is useless when debugging a 2 MB snapshot.
+  ByteWriter out;
+  out.u32(7);
+  {
+    ByteReader in(out.data());
+    in.u32();
+    try {
+      in.u64();
+      FAIL() << "read past end was accepted";
+    } catch (const SerialError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("8 byte(s)"), std::string::npos) << what;
+      EXPECT_NE(what.find("offset 4"), std::string::npos) << what;
+      EXPECT_NE(what.find("4-byte buffer"), std::string::npos) << what;
+    }
+  }
+  // A bad length prefix names the prefix's own offset and the shortfall.
+  ByteWriter vec;
+  vec.u32(1);  // 4 bytes of preamble so the prefix is not at offset 0
+  vec.u64(std::uint64_t{1} << 60);
+  ByteReader in(vec.data());
+  in.u32();
+  try {
+    in.vec_u8();
+    FAIL() << "huge length prefix was accepted";
+  } catch (const SerialError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("length prefix"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("0 remaining"), std::string::npos) << what;
+  }
+}
+
 TEST(ByteWriterReader, TrailingBytesAreNamed) {
   ByteWriter out;
   out.u32(1);

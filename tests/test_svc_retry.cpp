@@ -1,0 +1,112 @@
+// Tests for the client retry policy (svc/retry.h): exponential growth,
+// ceiling, jitter bounds, option validation, and an end-to-end lossy-link
+// exercise proving bounded attempts actually bound the traffic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "svc/client.h"
+#include "svc/retry.h"
+#include "svc/wire_faults.h"
+#include "util/rng.h"
+
+namespace svc = helcfl::svc;
+using helcfl::util::Rng;
+
+TEST(Retry, OptionsValidate) {
+  svc::RetryOptions options;
+  options.base_delay_ticks = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.base_delay_ticks = 4;
+  options.max_delay_ticks = 2;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.max_delay_ticks = 64;
+  options.backoff_multiplier = 0.5;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.backoff_multiplier = 2.0;
+  options.jitter = 1.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.jitter = 0.25;
+  options.max_attempts = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.max_attempts = 8;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(Retry, JitterFreeDelaysDoubleThenSaturate) {
+  svc::RetryOptions options;
+  options.base_delay_ticks = 2;
+  options.backoff_multiplier = 2.0;
+  options.max_delay_ticks = 16;
+  options.jitter = 0.0;
+  svc::RetryPolicy policy(options);
+  Rng rng(7);
+  EXPECT_EQ(policy.delay_before_retry(1, rng), 2u);
+  EXPECT_EQ(policy.delay_before_retry(2, rng), 4u);
+  EXPECT_EQ(policy.delay_before_retry(3, rng), 8u);
+  EXPECT_EQ(policy.delay_before_retry(4, rng), 16u);
+  EXPECT_EQ(policy.delay_before_retry(5, rng), 16u);   // ceiling
+  EXPECT_EQ(policy.delay_before_retry(60, rng), 16u);  // no overflow
+}
+
+TEST(Retry, JitterStaysWithinBand) {
+  svc::RetryOptions options;
+  options.base_delay_ticks = 8;
+  options.backoff_multiplier = 1.0;  // isolate the jitter factor
+  options.max_delay_ticks = 8;
+  options.jitter = 0.25;
+  svc::RetryPolicy policy(options);
+  Rng rng(11);
+  bool saw_below = false;
+  bool saw_above = false;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t d = policy.delay_before_retry(1, rng);
+    EXPECT_GE(d, 6u);   // 8 * 0.75
+    EXPECT_LE(d, 10u);  // 8 * 1.25
+    saw_below = saw_below || d < 8;
+    saw_above = saw_above || d > 8;
+  }
+  EXPECT_TRUE(saw_below);
+  EXPECT_TRUE(saw_above);
+}
+
+TEST(Retry, DelayIsAtLeastOneTickAndOneBased) {
+  svc::RetryOptions options;
+  options.base_delay_ticks = 1;
+  options.max_delay_ticks = 1;
+  options.jitter = 0.9;  // jittered value can round toward 0
+  svc::RetryPolicy policy(options);
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(policy.delay_before_retry(1, rng), 1u);
+  }
+  EXPECT_THROW(policy.delay_before_retry(0, rng), std::invalid_argument);
+}
+
+TEST(Retry, ClientGivesUpAfterBoundedAttempts) {
+  // A client sending into a 100%-loss link must stop at max_attempts and
+  // count the give-up instead of retrying forever.
+  svc::RetryOptions retry;
+  retry.base_delay_ticks = 1;
+  retry.backoff_multiplier = 1.0;
+  retry.max_delay_ticks = 1;
+  retry.jitter = 0.0;
+  retry.max_attempts = 5;
+  svc::ServiceClient client(retry, Rng(17).fork(0));
+
+  svc::DeviceReport report;
+  report.device_id = 0;
+  report.report_seq = 1;
+  report.t_cal_max_s = 0.5;
+  report.t_com_s = 0.25;
+  client.send_report(report, 0);
+
+  std::uint64_t transmissions = 0;
+  for (std::uint64_t tick = 0; tick < 50 && !client.idle(); ++tick) {
+    transmissions += client.poll(tick).size();  // frames go nowhere
+  }
+  EXPECT_TRUE(client.idle());
+  EXPECT_EQ(transmissions, 5u);
+  EXPECT_EQ(client.retries(), 4u);  // transmissions beyond the first
+  EXPECT_EQ(client.exhausted(), 1u);
+}

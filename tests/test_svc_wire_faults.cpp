@@ -1,0 +1,145 @@
+// Tests for the deterministic wire-fault injector and the FaultyLink
+// (svc/wire_faults.h): seed-for-seed reproducibility, rate extremes,
+// delivery ordering under delays, and single-byte corruption semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "svc/frame.h"
+#include "svc/wire_faults.h"
+#include "util/rng.h"
+
+namespace svc = helcfl::svc;
+using helcfl::util::Rng;
+
+namespace {
+
+std::vector<std::uint8_t> test_frame(std::uint64_t tag) {
+  svc::DeviceReport report;
+  report.device_id = tag;
+  report.report_seq = tag + 1;
+  report.t_cal_max_s = 0.5;
+  report.t_com_s = 0.25;
+  return svc::encode_frame(svc::encode(report));
+}
+
+}  // namespace
+
+TEST(WireFaults, OptionsValidate) {
+  svc::WireFaultOptions options;
+  options.drop_rate = 1.5;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.drop_rate = 0.1;
+  options.max_delay_ticks = 0;
+  options.delay_rate = 0.5;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.max_delay_ticks = 4;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(WireFaults, PlansAreSeedDeterministic) {
+  svc::WireFaultOptions options;
+  options.drop_rate = 0.2;
+  options.corrupt_rate = 0.2;
+  options.duplicate_rate = 0.2;
+  options.delay_rate = 0.5;
+  svc::WireFaultInjector a(options, Rng(99).fork(1));
+  svc::WireFaultInjector b(options, Rng(99).fork(1));
+  for (int i = 0; i < 500; ++i) {
+    const auto pa = a.plan_frame();
+    const auto pb = b.plan_frame();
+    EXPECT_EQ(pa.dropped, pb.dropped);
+    ASSERT_EQ(pa.copies, pb.copies);
+    for (std::size_t c = 0; c < pa.copies; ++c) {
+      EXPECT_EQ(pa.delivery[c].delay_ticks, pb.delivery[c].delay_ticks);
+      EXPECT_EQ(pa.delivery[c].corrupted, pb.delivery[c].corrupted);
+      EXPECT_EQ(pa.delivery[c].corrupt_index, pb.delivery[c].corrupt_index);
+      EXPECT_EQ(pa.delivery[c].corrupt_mask, pb.delivery[c].corrupt_mask);
+    }
+  }
+}
+
+TEST(WireFaults, DefaultLinkIsPerfectAndInstant) {
+  svc::FaultyLink link;
+  const auto frame = test_frame(7);
+  link.send(frame, 5);
+  const auto delivered = link.advance(5);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], frame);
+  EXPECT_EQ(link.frames_dropped(), 0u);
+  EXPECT_EQ(link.frames_corrupted(), 0u);
+}
+
+TEST(WireFaults, DropRateOneLosesEverything) {
+  svc::WireFaultOptions options;
+  options.drop_rate = 1.0;
+  svc::FaultyLink link(svc::WireFaultInjector(options, Rng(1).fork(0)));
+  for (std::uint64_t i = 0; i < 20; ++i) link.send(test_frame(i), i);
+  EXPECT_TRUE(link.advance(1000).empty());
+  EXPECT_EQ(link.frames_dropped(), 20u);
+  EXPECT_EQ(link.in_flight(), 0u);
+}
+
+TEST(WireFaults, DuplicateRateOneDeliversTwoCopies) {
+  svc::WireFaultOptions options;
+  options.duplicate_rate = 1.0;
+  svc::FaultyLink link(svc::WireFaultInjector(options, Rng(2).fork(0)));
+  link.send(test_frame(3), 0);
+  const auto delivered = link.advance(0);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], delivered[1]);
+  EXPECT_EQ(link.frames_duplicated(), 1u);
+}
+
+TEST(WireFaults, CorruptionFlipsExactlyOneByte) {
+  svc::WireFaultOptions options;
+  options.corrupt_rate = 1.0;
+  svc::FaultyLink link(svc::WireFaultInjector(options, Rng(3).fork(0)));
+  const auto original = test_frame(11);
+  link.send(original, 0);
+  const auto delivered = link.advance(0);
+  ASSERT_EQ(delivered.size(), 1u);
+  ASSERT_EQ(delivered[0].size(), original.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    diffs += delivered[0][i] != original[i] ? 1 : 0;
+  }
+  EXPECT_EQ(diffs, 1u);
+  EXPECT_EQ(link.frames_corrupted(), 1u);
+}
+
+TEST(WireFaults, DelaysHoldAndReorderFrames) {
+  svc::WireFaultOptions options;
+  options.delay_rate = 1.0;
+  options.max_delay_ticks = 8;
+  svc::FaultyLink link(svc::WireFaultInjector(options, Rng(4).fork(0)));
+  for (std::uint64_t i = 0; i < 16; ++i) link.send(test_frame(i), 0);
+  EXPECT_EQ(link.in_flight(), 16u);
+  // Nothing is due at tick 0 (every delivery was postponed >= 1 tick).
+  EXPECT_TRUE(link.advance(0).empty());
+  // Releasing tick by tick yields everything, in nondecreasing due order.
+  std::size_t total = 0;
+  for (std::uint64_t tick = 1; tick <= options.max_delay_ticks; ++tick) {
+    total += link.advance(tick).size();
+  }
+  EXPECT_EQ(total, 16u);
+  EXPECT_EQ(link.frames_delayed(), 16u);
+  EXPECT_EQ(link.in_flight(), 0u);
+}
+
+TEST(WireFaults, TickOrderBreaksTiesBySendOrder) {
+  // A perfect link delivers in FIFO order even when everything shares one
+  // due tick — the (tick, order) heap must not scramble equal keys.
+  svc::FaultyLink link;
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sent.push_back(test_frame(i));
+    link.send(sent.back(), 42);
+  }
+  const auto delivered = link.advance(42);
+  ASSERT_EQ(delivered.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(delivered[i], sent[i]) << "reordered at " << i;
+  }
+}
