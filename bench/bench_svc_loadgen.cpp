@@ -1,13 +1,22 @@
-// Scheduler-service load generator (ISSUE 7): decisions/sec and p99
+// Scheduler-service load generator (ISSUE 7 + 8): decisions/sec and p99
 // decision latency of the full framed protocol — reports in, acks out,
-// decision request/response — at wire fault rates 0, 1%, and 10%.  Faults
-// exercise the rejection, retry, and dedup paths, so the delta between the
-// arms is the price of robustness, not of scheduling.
+// decision request/response — at wire fault rates 0, 1%, and 10%, and over
+// real loopback TCP at 1/2/4 ingress threads.  Faults exercise the
+// rejection, retry, and dedup paths, so the delta between the arms is the
+// price of robustness, not of scheduling; the TCP arms price the socket
+// transport (syscalls, stream reassembly, thread handoff) against the
+// in-process wire.
+//
+//   --transport=tcp     run only the loopback-TCP arms
+//   --transport=inproc  run only the in-process arms
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_json.h"
@@ -16,7 +25,9 @@
 #include "sim/fleet.h"
 #include "svc/client.h"
 #include "svc/frame.h"
+#include "svc/listener.h"
 #include "svc/service.h"
+#include "svc/transport.h"
 #include "svc/wire_faults.h"
 #include "util/rng.h"
 
@@ -170,6 +181,127 @@ void BM_SvcIngest(benchmark::State& state) {
 }
 BENCHMARK(BM_SvcIngest);
 
+// The same barrier protocol as BM_SvcDecisions, but over a real loopback
+// TCP connection into a SocketServer — syscalls, per-connection stream
+// reassembly, the bounded ingress queue, and the reader→service thread
+// handoff are all on the measured path.  Clean wire: the TCP arms price
+// the transport, the fault arms above price robustness.
+struct TcpHarness {
+  svc::SchedulerService service;
+  svc::SocketServer server;
+  svc::ServiceClient client;
+  svc::ClientChannel channel;
+  std::uint64_t tick = 0;
+  std::uint64_t round = 0;
+
+  explicit TcpHarness(std::size_t ingress_threads)
+      : service(cached_users(),
+                [] {
+                  svc::ServiceOptions options;
+                  options.fraction = 0.1;
+                  options.lease_ticks = 1'000'000'000;
+                  options.queue_capacity = 4 * kQ;
+                  return options;
+                }()),
+        server(service, svc::Endpoint::parse("tcp:127.0.0.1:0"),
+               [ingress_threads] {
+                 svc::ServerOptions options;
+                 options.ingress_threads = ingress_threads;
+                 return options;
+               }()),
+        client(
+            [] {
+              // Ticks advance per pump (microseconds), not per wire
+              // round-trip — back off far enough that retransmits mean
+              // lost frames, not an impatient clock.
+              svc::RetryOptions retry;
+              retry.base_delay_ticks = 64;
+              retry.max_delay_ticks = 1024;
+              retry.max_attempts = 64;
+              return retry;
+            }(),
+            util::Rng(kSeed).fork(100)),
+        channel((server.start(), server.endpoint())) {}
+
+  ~TcpHarness() { server.stop(); }
+
+  void pump() {
+    for (const auto& frame : client.poll(tick)) channel.send_frame(frame);
+    std::vector<svc::Frame> inbox;
+    channel.poll_frames(inbox, /*timeout_ms=*/1);
+    for (const svc::Frame& frame : inbox) {
+      client.deliver(svc::encode_frame(frame));
+    }
+    ++tick;
+  }
+
+  void run_round() {
+    for (std::size_t d = 0; d < kQ; ++d) {
+      svc::DeviceReport report;
+      report.device_id = d;
+      report.report_seq = round + 1;
+      report.t_cal_max_s = cached_users()[d].t_cal_max_s;
+      report.t_com_s = cached_users()[d].t_com_s;
+      client.send_report(report, tick);
+    }
+    while (client.pending_reports() > 0) pump();
+    client.request_decision(round, tick);
+    while (!client.take_decision().has_value()) pump();
+    ++round;
+  }
+};
+
+void BM_SvcTcpDecisions(benchmark::State& state) {
+  TcpHarness harness(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> round_us;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    harness.run_round();
+    const auto end = std::chrono::steady_clock::now();
+    round_us.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  std::sort(round_us.begin(), round_us.end());
+  if (!round_us.empty()) {
+    const std::size_t p99 = (round_us.size() * 99) / 100;
+    state.counters["p99_decision_us"] =
+        round_us[std::min(p99, round_us.size() - 1)];
+  }
+  state.counters["ingress_frames"] =
+      static_cast<double>(harness.server.stats().ingress_frames);
+  state.counters["client_retries"] =
+      static_cast<double>(harness.client.retries());
+}
+BENCHMARK(BM_SvcTcpDecisions)->Arg(1)->Arg(2)->Arg(4)->ArgName("ingress_threads")
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
 }  // namespace
 
-HELCFL_BENCH_JSON_MAIN("BENCH_micro_svc.json")
+// Custom main: --transport=tcp|inproc selects the benchmark family by
+// rewriting itself into a --benchmark_filter before the stock JSON main.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string filter;
+  for (auto it = args.begin(); it != args.end();) {
+    constexpr const char* kFlag = "--transport=";
+    if (std::strncmp(*it, kFlag, std::strlen(kFlag)) == 0) {
+      const std::string value = *it + std::strlen(kFlag);
+      if (value == "tcp") {
+        filter = "--benchmark_filter=Tcp";
+      } else if (value == "inproc") {
+        filter = "--benchmark_filter=-Tcp";
+      } else {
+        std::cerr << "unknown --transport value: " << value
+                  << " (expected tcp|inproc)\n";
+        return 1;
+      }
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!filter.empty()) args.insert(args.begin() + 1, filter.data());
+  return helcfl::bench::run_benchmarks_with_json(
+      static_cast<int>(args.size()), args.data(), "BENCH_micro_svc.json");
+}

@@ -38,20 +38,222 @@
 // count).  --resume-from continues an interrupted run; the resumed
 // trajectory is bitwise identical to one that never stopped.
 //
+// Two-process scheduler sessions (docs/SERVICE.md): the `serve` and
+// `connect` subcommands put the FLCC scheduler service behind a real
+// socket so two processes on one machine (or LAN) run a live session:
+//
+//   helcfl_cli serve   [--listen=tcp:127.0.0.1:7000 | --listen=unix:/path]
+//                      [--users=N] [--seed=N] [--fraction=C] [--eta=E]
+//                      [--ingress-threads=N] [--lease-ticks=N]
+//                      [--max-decisions=N] [--snapshot-every=N]
+//                      [--snapshot-path=path]
+//   helcfl_cli connect [--connect=tcp:127.0.0.1:7000 | --connect=unix:/path]
+//                      [--users=N] [--seed=N] [--rounds=N]
+//
+// The fleet is derived deterministically from (--users, --seed), so a
+// connect with the same values as the serve side impersonates exactly the
+// devices the service was constructed for.  `serve` runs until SIGINT or
+// --max-decisions; `connect` drives N report-then-decide rounds as every
+// device plus the controller and prints each decision.
+//
 // Examples:
 //   helcfl_cli --scheme=helcfl --setting=noniid --rounds=300 --csv=run.csv
 //   helcfl_cli --scheme=classic --battery-j=20 --rounds=2000
+//   helcfl_cli serve --listen=unix:/tmp/helcfl.sock --users=32 &
+//   helcfl_cli connect --connect=unix:/tmp/helcfl.sock --users=32 --rounds=5
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <optional>
+#include <thread>
 
+#include "sched/scheduler.h"
+#include "sim/config.h"
+#include "sim/fleet.h"
 #include "sim/report.h"
 #include "sim/simulation.h"
+#include "svc/client.h"
+#include "svc/listener.h"
+#include "svc/service.h"
+#include "svc/transport.h"
 #include "util/args.h"
 #include "util/log.h"
+#include "util/rng.h"
 
 using namespace helcfl;
 
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+void handle_sigint(int) { g_interrupted.store(true); }
+
+/// Both sides of a session derive the fleet from (--users, --seed) alone,
+/// so the connect side impersonates exactly the devices the serve side's
+/// service was constructed for.
+std::vector<sched::UserInfo> session_fleet(std::size_t users,
+                                           std::uint64_t seed) {
+  sim::ExperimentConfig config = sim::paper_config();
+  config.n_users = users;
+  util::Rng rng(seed);
+  const std::vector<std::size_t> samples(users, 40);
+  return sched::build_user_info(sim::make_fleet(config, samples, rng),
+                                sim::make_channel(config), 4e6);
+}
+
+void warn_unused(const util::ArgParser& args) {
+  for (const auto& name : args.unused()) {
+    std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
+  }
+}
+
+int run_serve(const util::ArgParser& args) {
+  const auto users = static_cast<std::size_t>(args.get_int_or("users", 64));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 7));
+  svc::ServiceOptions options;
+  options.fraction = args.get_double_or("fraction", 0.25);
+  options.eta = args.get_double_or("eta", 0.9);
+  // Ticks are milliseconds of server uptime (ServerOptions default).
+  options.lease_ticks =
+      static_cast<std::uint64_t>(args.get_int_or("lease-ticks", 10'000));
+  options.queue_capacity = static_cast<std::size_t>(
+      args.get_int_or("queue-capacity", static_cast<std::int64_t>(4 * users)));
+  options.snapshot_every =
+      static_cast<std::uint64_t>(args.get_int_or("snapshot-every", 0));
+  options.snapshot_path = args.get_or("snapshot-path", "");
+  const std::int64_t max_decisions = args.get_int_or("max-decisions", 0);
+  const svc::Endpoint endpoint =
+      svc::Endpoint::parse(args.get_or("listen", "tcp:127.0.0.1:7000"));
+
+  svc::SchedulerService service(session_fleet(users, seed), options);
+  svc::ServerOptions server_options;
+  server_options.ingress_threads =
+      static_cast<std::size_t>(args.get_int_or("ingress-threads", 1));
+  svc::SocketServer server(service, endpoint, server_options);
+  warn_unused(args);
+  server.start();
+  std::printf("helcfl_cli serve: %zu devices on %s (C=%.2f, lease %llu ms, "
+              "%zu ingress threads)\n",
+              users, server.endpoint().to_string().c_str(), options.fraction,
+              static_cast<unsigned long long>(options.lease_ticks),
+              server_options.ingress_threads);
+  std::signal(SIGINT, handle_sigint);
+
+  while (!g_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (max_decisions > 0 &&
+        server.stats().decisions_issued >=
+            static_cast<std::uint64_t>(max_decisions)) {
+      break;
+    }
+  }
+  server.stop();
+  const svc::ServerStats stats = server.stats();
+  std::printf("helcfl_cli serve: done — %llu decisions, %llu conns accepted, "
+              "%llu ingress frames, %llu shed, %llu stalled\n",
+              static_cast<unsigned long long>(stats.decisions_issued),
+              static_cast<unsigned long long>(stats.conns_accepted),
+              static_cast<unsigned long long>(stats.ingress_frames),
+              static_cast<unsigned long long>(stats.ingress_shed),
+              static_cast<unsigned long long>(stats.conns_stalled));
+  return 0;
+}
+
+int run_connect(const util::ArgParser& args) {
+  const auto users = static_cast<std::size_t>(args.get_int_or("users", 64));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 7));
+  const auto rounds =
+      static_cast<std::uint64_t>(args.get_int_or("rounds", 10));
+  const svc::Endpoint endpoint =
+      svc::Endpoint::parse(args.get_or("connect", "tcp:127.0.0.1:7000"));
+  warn_unused(args);
+
+  const auto fleet = session_fleet(users, seed);
+  svc::RetryOptions retry;
+  retry.base_delay_ticks = 64;
+  retry.max_delay_ticks = 1024;
+  retry.max_attempts = 64;
+  svc::ServiceClient client(retry, util::Rng(seed).fork(100));
+  std::optional<svc::ClientChannel> channel;
+  std::uint64_t tick = 0;
+
+  auto pump = [&] {
+    if (!channel.has_value() || !channel->connected()) {
+      channel.emplace(endpoint);  // throws if the server is unreachable
+    }
+    for (const auto& frame : client.poll(tick)) {
+      if (!channel->send_frame(frame)) break;  // retry re-sends after reconnect
+    }
+    std::vector<svc::Frame> inbox;
+    channel->poll_frames(inbox, /*timeout_ms=*/1);
+    for (const svc::Frame& frame : inbox) {
+      client.deliver(svc::encode_frame(frame));
+    }
+    ++tick;
+  };
+
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    for (std::size_t d = 0; d < fleet.size(); ++d) {
+      svc::DeviceReport report;
+      report.device_id = d;
+      report.report_seq = round + 1;
+      report.t_cal_max_s = fleet[d].t_cal_max_s;
+      report.t_com_s = fleet[d].t_com_s;
+      client.send_report(report, tick);
+    }
+    const std::uint64_t report_deadline = tick + 200'000;
+    while (client.pending_reports() > 0 && tick < report_deadline) pump();
+    if (client.pending_reports() > 0) {
+      std::fprintf(stderr, "error: report barrier stalled at round %llu\n",
+                   static_cast<unsigned long long>(round));
+      return 1;
+    }
+    client.request_decision(round, tick);
+    const std::uint64_t decide_deadline = tick + 200'000;
+    std::optional<svc::DecisionResponse> decision;
+    while (!(decision = client.take_decision()).has_value() &&
+           tick < decide_deadline) {
+      pump();
+    }
+    if (!decision.has_value()) {
+      std::fprintf(stderr, "error: decision stalled at round %llu\n",
+                   static_cast<unsigned long long>(round));
+      return 1;
+    }
+    std::printf("round %llu: %zu selected%s —",
+                static_cast<unsigned long long>(decision->round),
+                decision->selected.size(),
+                decision->degraded ? " (degraded)" : "");
+    const std::size_t shown = std::min<std::size_t>(decision->selected.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::printf(" %zu", decision->selected[i]);
+    }
+    if (shown < decision->selected.size()) std::printf(" ...");
+    std::printf("\n");
+  }
+  std::printf("helcfl_cli connect: %llu rounds complete, %llu retries\n",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(client.retries()));
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const util::ArgParser args(argc, argv);
+  if (!args.positional().empty()) {
+    const std::string& command = args.positional().front();
+    try {
+      if (command == "serve") return run_serve(args);
+      if (command == "connect") return run_connect(args);
+      std::fprintf(stderr, "error: unknown subcommand '%s'\n", command.c_str());
+      return 1;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+  }
   try {
     sim::ExperimentConfig config = sim::paper_config();
     config.scheme = sim::parse_scheme(args.get_or("scheme", "helcfl"));

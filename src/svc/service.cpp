@@ -121,44 +121,54 @@ void SchedulerService::ingest(std::span<const std::uint8_t> bytes,
   }
 
   for (const Frame& frame : frames) {
-    switch (frame.type) {
-      case MsgType::kDeviceReport: {
-        DeviceReport report;
-        try {
-          report = decode_device_report(frame.payload);
-        } catch (const util::SerialError&) {
-          ++stats_.frames_rejected;
-          count("svc.frames_rejected");
-          count("svc.frames_rejected.malformed");
-          continue;
-        }
-        ++stats_.frames_accepted;
-        handle_report(report, now_tick);
-        break;
-      }
-      case MsgType::kDecisionRequest: {
-        DecisionRequest request;
-        try {
-          request = decode_decision_request(frame.payload);
-        } catch (const util::SerialError&) {
-          ++stats_.frames_rejected;
-          count("svc.frames_rejected");
-          count("svc.frames_rejected.malformed");
-          continue;
-        }
-        ++stats_.frames_accepted;
-        handle_request(request);
-        break;
-      }
-      case MsgType::kReportAck:
-      case MsgType::kDecisionResponse:
-        // Server-to-client messages looped back at us (misrouted or
-        // reflected): valid frames, wrong direction.
+    dispatch_frame(frame, now_tick);
+  }
+}
+
+void SchedulerService::ingest(const Frame& frame, std::uint64_t now_tick) {
+  now_tick_ = std::max(now_tick_, now_tick);
+  dispatch_frame(frame, now_tick);
+}
+
+void SchedulerService::dispatch_frame(const Frame& frame,
+                                      std::uint64_t now_tick) {
+  switch (frame.type) {
+    case MsgType::kDeviceReport: {
+      DeviceReport report;
+      try {
+        report = decode_device_report(frame.payload);
+      } catch (const util::SerialError&) {
         ++stats_.frames_rejected;
         count("svc.frames_rejected");
-        count("svc.frames_rejected.unexpected_type");
-        break;
+        count("svc.frames_rejected.malformed");
+        return;
+      }
+      ++stats_.frames_accepted;
+      handle_report(report, now_tick);
+      break;
     }
+    case MsgType::kDecisionRequest: {
+      DecisionRequest request;
+      try {
+        request = decode_decision_request(frame.payload);
+      } catch (const util::SerialError&) {
+        ++stats_.frames_rejected;
+        count("svc.frames_rejected");
+        count("svc.frames_rejected.malformed");
+        return;
+      }
+      ++stats_.frames_accepted;
+      handle_request(request);
+      break;
+    }
+    case MsgType::kReportAck:
+    case MsgType::kDecisionResponse:
+      // Server-to-client messages looped back at us (misrouted or
+      // reflected): valid frames, wrong direction.
+      ++stats_.frames_rejected;
+      count("svc.frames_rejected");
+      count("svc.frames_rejected.unexpected_type");
+      break;
   }
 }
 

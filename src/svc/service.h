@@ -121,6 +121,12 @@ class SchedulerService {
   /// staged.  Never throws on wire bytes.
   void ingest(std::span<const std::uint8_t> bytes, std::uint64_t now_tick);
 
+  /// Consumes one already-decoded frame (stream transports run their own
+  /// per-connection FrameDecoder — svc/transport.h — so re-encoding just
+  /// to re-decode here would be waste).  Identical semantics to the
+  /// datagram path for a validated frame.  Never throws on wire bytes.
+  void ingest(const Frame& frame, std::uint64_t now_tick);
+
   /// Runs the service loop once at `now_tick`: expires leases, applies up
   /// to `budget` queued reports (emitting acks), then answers the staged
   /// decision request if any.  Responses accumulate in the outbox.
@@ -161,6 +167,7 @@ class SchedulerService {
   static constexpr std::uint32_t kSnapshotVersion = 1;
 
  private:
+  void dispatch_frame(const Frame& frame, std::uint64_t now_tick);
   void handle_report(const DeviceReport& report, std::uint64_t now_tick);
   void handle_request(const DecisionRequest& request);
   void apply_report(const DeviceReport& report, std::uint64_t now_tick);

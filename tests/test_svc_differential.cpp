@@ -10,176 +10,21 @@
 // 2. Kill-and-recover: a service snapshotted mid-workload and restored
 //    into a fresh process (object) must emit byte-identical response
 //    datagrams to the never-killed original for the rest of the workload.
+//
+// The workload itself (fleet, delay evolution, barrier protocol) lives in
+// svc_workload.h, shared with the loopback-TCP differential
+// (test_svc_tcp_differential.cpp).
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "sched/scheduler.h"
-#include "sim/config.h"
-#include "sim/fleet.h"
-#include "svc/client.h"
-#include "svc/frame.h"
-#include "svc/service.h"
-#include "svc/wire_faults.h"
-#include "util/rng.h"
+#include "svc_workload.h"
 
 namespace svc = helcfl::svc;
 using namespace helcfl;
-
-namespace {
-
-constexpr std::size_t kQ = 12;
-constexpr std::uint64_t kSeed = 20260808;
-
-std::vector<sched::UserInfo> make_users() {
-  sim::ExperimentConfig config = sim::paper_config();
-  config.n_users = kQ;
-  util::Rng rng(7);
-  const std::vector<std::size_t> samples(kQ, 40);
-  const auto devices = sim::make_fleet(config, samples, rng);
-  return sched::build_user_info(devices, sim::make_channel(config), 4e6);
-}
-
-svc::ServiceOptions service_options() {
-  svc::ServiceOptions options;
-  options.fraction = 0.25;
-  options.eta = 0.9;
-  // Liveness is out of scope for the fault-transparency proof: retry
-  // latency must not be able to kill a lease mid-exchange.
-  options.lease_ticks = 1'000'000;
-  options.queue_capacity = 4 * kQ;
-  return options;
-}
-
-svc::RetryOptions retry_options() {
-  svc::RetryOptions retry;
-  retry.base_delay_ticks = 1;
-  retry.backoff_multiplier = 2.0;
-  retry.max_delay_ticks = 8;
-  retry.jitter = 0.25;
-  retry.max_attempts = 16;
-  return retry;
-}
-
-/// Deterministic per-(device, round) delay evolution, identical across
-/// runs regardless of wire faults.
-double t_cal_at(const std::vector<sched::UserInfo>& users, std::size_t d,
-                std::uint64_t round) {
-  return users[d].t_cal_max_s *
-         (1.0 + 0.05 * static_cast<double>((d * 7 + round * 13) % 10));
-}
-double t_com_at(const std::vector<sched::UserInfo>& users, std::size_t d,
-                std::uint64_t round) {
-  return users[d].t_com_s *
-         (1.0 + 0.04 * static_cast<double>((d * 5 + round * 11) % 10));
-}
-
-/// One recorded decision.
-struct Pick {
-  std::uint64_t round = 0;
-  std::vector<std::size_t> selected;
-  std::vector<double> frequencies_hz;
-  bool degraded = false;
-};
-
-/// Drives `rounds` report-then-decide rounds through the two faulty links.
-/// Every round is a barrier: all Q reports must be acked before the
-/// decision request goes out, so retries fully mask the wire.  Records the
-/// decisions and (optionally) every raw service-outbox datagram.
-struct Exchange {
-  svc::SchedulerService& service;
-  svc::ServiceClient& client;
-  svc::FaultyLink& to_service;
-  svc::FaultyLink& to_client;
-  std::uint64_t tick = 0;
-  std::vector<std::vector<std::uint8_t>>* raw_outbox = nullptr;
-
-  /// One full transport round-trip at the current tick.
-  void pump() {
-    for (const auto& frame : client.poll(tick)) {
-      to_service.send(frame, tick);
-    }
-    for (const auto& datagram : to_service.advance(tick)) {
-      service.ingest(datagram, tick);
-    }
-    service.poll(tick);
-    for (auto& datagram : service.take_outbox()) {
-      if (raw_outbox != nullptr) raw_outbox->push_back(datagram);
-      to_client.send(datagram, tick);
-    }
-    for (const auto& datagram : to_client.advance(tick)) {
-      client.deliver(datagram);
-    }
-    ++tick;
-  }
-
-  Pick run_round(const std::vector<sched::UserInfo>& users,
-                 std::uint64_t round) {
-    for (std::size_t d = 0; d < users.size(); ++d) {
-      svc::DeviceReport report;
-      report.device_id = d;
-      report.report_seq = round + 1;  // strictly increasing per device
-      report.t_cal_max_s = t_cal_at(users, d, round);
-      report.t_com_s = t_com_at(users, d, round);
-      client.send_report(report, tick);
-    }
-    const std::uint64_t report_deadline = tick + 10'000;
-    while (client.pending_reports() > 0) {
-      pump();
-      EXPECT_LT(tick, report_deadline) << "report barrier stalled";
-      if (tick >= report_deadline) return {};
-    }
-    client.request_decision(round, tick);
-    const std::uint64_t decide_deadline = tick + 10'000;
-    std::optional<svc::DecisionResponse> response;
-    while (!(response = client.take_decision()).has_value()) {
-      pump();
-      EXPECT_LT(tick, decide_deadline) << "decision stalled";
-      if (tick >= decide_deadline) return {};
-    }
-    Pick pick;
-    pick.round = response->round;
-    pick.selected = response->selected;
-    pick.frequencies_hz = response->frequencies_hz;
-    pick.degraded = response->degraded;
-    return pick;
-  }
-};
-
-svc::FaultyLink make_link(double fault_rate, std::uint64_t stream) {
-  svc::WireFaultOptions faults;
-  faults.drop_rate = fault_rate;
-  faults.corrupt_rate = fault_rate;
-  faults.duplicate_rate = fault_rate;
-  faults.delay_rate = fault_rate > 0.0 ? 0.25 : 0.0;
-  faults.max_delay_ticks = 6;
-  return svc::FaultyLink(
-      svc::WireFaultInjector(faults, util::Rng(kSeed).fork(stream)));
-}
-
-std::vector<Pick> run_workload(double fault_rate, std::uint64_t rounds) {
-  const auto users = make_users();
-  svc::SchedulerService service(users, service_options());
-  svc::ServiceClient client(retry_options(), util::Rng(kSeed).fork(100));
-  svc::FaultyLink to_service = make_link(fault_rate, 1);
-  svc::FaultyLink to_client = make_link(fault_rate, 2);
-  Exchange exchange{service, client, to_service, to_client};
-
-  std::vector<Pick> picks;
-  for (std::uint64_t round = 0; round < rounds; ++round) {
-    picks.push_back(exchange.run_round(users, round));
-  }
-  // The retry budget must never have been exhausted — a silently-lost
-  // report would invalidate the equality claim rather than prove it.
-  EXPECT_EQ(client.exhausted(), 0u);
-  EXPECT_EQ(service.stats().decisions, rounds);
-  return picks;
-}
-
-}  // namespace
+using namespace helcfl::svc_test;
 
 TEST(SvcDifferential, FaultyWireYieldsIdenticalDecisions) {
   constexpr std::uint64_t kRounds = 10;
