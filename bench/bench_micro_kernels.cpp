@@ -21,6 +21,8 @@ using tensor::Tensor;
 
 void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  tensor::set_kernel_threads(threads);
   util::Rng rng(1);
   std::vector<float> a(n * n);
   std::vector<float> b(n * n);
@@ -31,10 +33,28 @@ void BM_Gemm(benchmark::State& state) {
     tensor::gemm(n, n, n, a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(2 * n * n * n));
+  const auto flops = static_cast<std::int64_t>(state.iterations()) *
+                     static_cast<std::int64_t>(2 * n * n * n);
+  state.SetItemsProcessed(flops);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["flops"] = benchmark::Counter(static_cast<double>(flops),
+                                               benchmark::Counter::kIsRate);
+  tensor::set_kernel_threads(1);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+// The 512-point sweep is the scaling curve CI records (1/2/4 kernel
+// threads); smaller sizes stay single-threaded (below the parallel
+// threshold anyway) to track per-core kernel regressions.  UseRealTime:
+// the sharded work runs on pool threads, which the default CPU-time
+// pacing cannot see.
+BENCHMARK(BM_Gemm)
+    ->Args({32, 1})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->UseRealTime();
 
 void BM_GemmABt(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -167,6 +187,38 @@ BENCHMARK(BM_ModelTrainStep)
     ->Arg(static_cast<int>(nn::ModelKind::kMlp))
     ->Arg(static_cast<int>(nn::ModelKind::kSmallCnn))
     ->Arg(static_cast<int>(nn::ModelKind::kMiniSqueezeNet));
+
+void BM_RoundForward(benchmark::State& state) {
+  // The FedAvg inner loop in miniature: every selected client forwards the
+  // same global model.  With prepacking (arg = 1) the Dense weight panels
+  // are packed once and reused by all clients; arg = 0 simulates the naive
+  // pack-per-client alternative by dirtying the panels before each client,
+  // so the delta between the two rows is the per-round packing amortization.
+  const bool prepack = state.range(0) != 0;
+  const bool saved_prepack = tensor::weight_prepack_enabled();
+  tensor::set_weight_prepack(true);
+  util::Rng rng(10);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(256, 256, rng);
+  model.emplace<nn::Dense>(256, 256, rng);
+  model.emplace<nn::Dense>(256, 10, rng);
+  constexpr std::size_t kClients = 32;
+  constexpr std::size_t kBatch = 4;
+  Tensor x(Shape{kBatch, 256});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    for (std::size_t client = 0; client < kClients; ++client) {
+      if (!prepack) model.mark_weights_dirty();
+      Tensor y = model.forward(x, false);
+      benchmark::DoNotOptimize(y.data().data());
+    }
+  }
+  state.SetLabel(prepack ? "prepack" : "repack_per_client");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kClients * kBatch));
+  tensor::set_weight_prepack(saved_prepack);
+}
+BENCHMARK(BM_RoundForward)->Arg(0)->Arg(1);
 
 void BM_ExtractLoadParameters(benchmark::State& state) {
   util::Rng rng(9);

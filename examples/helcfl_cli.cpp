@@ -14,7 +14,7 @@
 //              [--churn-leave=F] [--churn-rejoin=F]
 //              [--max-retries=N] [--retry-backoff-s=F]
 //              [--straggler-cutoff-s=F] [--min-clients=N]
-//              [--threads=N] [--csv=path] [--quiet]
+//              [--threads=N] [--kernel-threads=N] [--csv=path] [--quiet]
 //              [--trace-out=path] [--trace-level=round|decision|debug]
 //              [--profile] [--chrome-trace=path]
 //              [--checkpoint-every=N] [--checkpoint-path=path]
@@ -24,6 +24,12 @@
 // the sequential reference path.  Results are bitwise identical either way
 // (the parallel engine's determinism guarantee, DESIGN.md §7) — including
 // with faults enabled, whose draws are forked per (round, user).
+//
+// --kernel-threads=N shards large GEMMs over N dedicated kernel workers
+// (default 1; 0 = every hardware thread); orthogonal to --threads and
+// likewise bitwise invariant (docs/KERNELS.md).  Prefer --threads on
+// many-client workloads and --kernel-threads when a single large model
+// dominates.
 //
 // Observability (docs/OBSERVABILITY.md): --trace-out writes one JSON event
 // per line (selection decisions, DVFS assignments, TDMA spans, faults,
@@ -78,6 +84,7 @@
 #include "svc/listener.h"
 #include "svc/service.h"
 #include "svc/transport.h"
+#include "tensor/ops.h"
 #include "util/args.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -312,6 +319,11 @@ int main(int argc, char** argv) {
     const std::int64_t threads = args.get_int_or("threads", 0);
     if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
     config.trainer.num_threads = static_cast<std::size_t>(threads);
+    const std::int64_t kernel_threads = args.get_int_or("kernel-threads", 1);
+    if (kernel_threads < 0) {
+      throw std::invalid_argument("--kernel-threads must be >= 0");
+    }
+    tensor::set_kernel_threads(static_cast<std::size_t>(kernel_threads));
     config.trainer.checkpoint_every =
         static_cast<std::size_t>(args.get_int_or("checkpoint-every", 0));
     config.trainer.checkpoint_path = args.get_or("checkpoint-path", "");

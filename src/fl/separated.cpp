@@ -46,6 +46,10 @@ TrainingHistory train_separated(nn::Sequential& model, const data::Dataset& trai
   std::vector<std::size_t> everyone(q);
   for (std::size_t i = 0; i < q; ++i) everyone[i] = i;
 
+  // Every sampled user's model is evaluated on the same test set each eval
+  // round; gather its batches once and reuse them across users and rounds.
+  const EvalPlan eval_plan = make_eval_plan(test, options.eval_batch);
+
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     double round_delay = 0.0;
     double round_energy = 0.0;
@@ -83,7 +87,7 @@ TrainingHistory train_separated(nn::Sequential& model, const data::Dataset& trai
         const auto weight = static_cast<double>(user_data[user].size());
         if (weight == 0.0) continue;
         const Evaluation eval =
-            evaluate(model, user_weights[user], test, options.eval_batch);
+            evaluate(model, user_weights[user], eval_plan);
         acc_weighted += weight * eval.accuracy;
         loss_weighted += weight * eval.loss;
         total_weight += weight;

@@ -35,20 +35,32 @@ std::vector<float> fedavg(std::span<const WeightedModel> uploads) {
   return result;
 }
 
-Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
-                    const data::Dataset& dataset, std::size_t batch_size) {
-  if (dataset.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+EvalPlan make_eval_plan(const data::Dataset& dataset, std::size_t batch_size) {
+  if (dataset.size() == 0) {
+    throw std::invalid_argument("make_eval_plan: empty dataset");
+  }
   if (batch_size == 0) batch_size = dataset.size();
-  nn::load_parameters(model, weights);
-
-  double total_loss = 0.0;
-  std::size_t total_correct = 0;
+  EvalPlan plan;
+  plan.total = dataset.size();
+  plan.batches.reserve((dataset.size() + batch_size - 1) / batch_size);
   std::vector<std::size_t> indices;
   for (std::size_t begin = 0; begin < dataset.size(); begin += batch_size) {
     const std::size_t end = std::min(begin + batch_size, dataset.size());
     indices.resize(end - begin);
     for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
-    const data::Batch batch = dataset.gather(indices);
+    plan.batches.push_back(dataset.gather(indices));
+  }
+  return plan;
+}
+
+Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
+                    const EvalPlan& plan) {
+  if (plan.total == 0) throw std::invalid_argument("evaluate: empty plan");
+  nn::load_parameters(model, weights);
+
+  double total_loss = 0.0;
+  std::size_t total_correct = 0;
+  for (const data::Batch& batch : plan.batches) {
     const tensor::Tensor logits = model.forward(batch.images, /*training=*/false);
     const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
     total_loss += loss.loss * static_cast<double>(batch.size());
@@ -56,41 +68,41 @@ Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
   }
 
   Evaluation eval;
-  eval.loss = total_loss / static_cast<double>(dataset.size());
+  eval.loss = total_loss / static_cast<double>(plan.total);
   eval.accuracy =
-      static_cast<double>(total_correct) / static_cast<double>(dataset.size());
+      static_cast<double>(total_correct) / static_cast<double>(plan.total);
   return eval;
+}
+
+Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
+                    const data::Dataset& dataset, std::size_t batch_size) {
+  if (dataset.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+  return evaluate(model, weights, make_eval_plan(dataset, batch_size));
 }
 
 Evaluation evaluate_parallel(std::span<nn::Sequential* const> replicas,
                              std::span<const float> weights,
-                             const data::Dataset& dataset, std::size_t batch_size,
-                             util::ThreadPool& pool) {
-  if (dataset.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+                             const EvalPlan& plan, util::ThreadPool& pool) {
+  if (plan.total == 0) throw std::invalid_argument("evaluate: empty plan");
   if (pool.worker_count() == 0) {
     if (replicas.size() != 1) {
       throw std::invalid_argument("evaluate_parallel: inline pool needs 1 replica");
     }
-    return evaluate(*replicas.front(), weights, dataset, batch_size);
+    return evaluate(*replicas.front(), weights, plan);
   }
   if (replicas.size() != pool.worker_count()) {
     throw std::invalid_argument("evaluate_parallel: need one replica per worker");
   }
-  if (batch_size == 0) batch_size = dataset.size();
   for (nn::Sequential* replica : replicas) nn::load_parameters(*replica, weights);
 
-  const std::size_t n_batches = (dataset.size() + batch_size - 1) / batch_size;
+  const std::size_t n_batches = plan.batches.size();
   std::vector<double> batch_loss(n_batches, 0.0);
   std::vector<std::size_t> batch_correct(n_batches, 0);
   std::vector<std::future<void>> futures;
   futures.reserve(n_batches);
   for (std::size_t b = 0; b < n_batches; ++b) {
     futures.push_back(pool.submit([&, b] {
-      const std::size_t begin = b * batch_size;
-      const std::size_t end = std::min(begin + batch_size, dataset.size());
-      std::vector<std::size_t> indices(end - begin);
-      for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
-      const data::Batch batch = dataset.gather(indices);
+      const data::Batch& batch = plan.batches[b];
       nn::Sequential& model = *replicas[util::ThreadPool::worker_index()];
       const tensor::Tensor logits = model.forward(batch.images, /*training=*/false);
       const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
@@ -116,10 +128,19 @@ Evaluation evaluate_parallel(std::span<nn::Sequential* const> replicas,
     total_correct += batch_correct[b];
   }
   Evaluation eval;
-  eval.loss = total_loss / static_cast<double>(dataset.size());
+  eval.loss = total_loss / static_cast<double>(plan.total);
   eval.accuracy =
-      static_cast<double>(total_correct) / static_cast<double>(dataset.size());
+      static_cast<double>(total_correct) / static_cast<double>(plan.total);
   return eval;
+}
+
+Evaluation evaluate_parallel(std::span<nn::Sequential* const> replicas,
+                             std::span<const float> weights,
+                             const data::Dataset& dataset, std::size_t batch_size,
+                             util::ThreadPool& pool) {
+  if (dataset.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+  return evaluate_parallel(replicas, weights,
+                           make_eval_plan(dataset, batch_size), pool);
 }
 
 }  // namespace helcfl::fl

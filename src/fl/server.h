@@ -29,8 +29,33 @@ struct Evaluation {
   double accuracy = 0.0;  ///< fraction correct in [0, 1]
 };
 
+/// The evaluation batches of one dataset, gathered once and reused.  The
+/// trainer evaluates the same test set every eval round (and the separated
+/// baseline evaluates every user's model on it), so re-gathering the batch
+/// tensors per evaluation is pure waste — a plan materializes them once.
+/// Batches cover [0, total) in order with the same boundaries the direct
+/// evaluate() overloads use, so plan-based results are bitwise identical
+/// to dataset-based ones for the same batch size.
+struct EvalPlan {
+  std::vector<data::Batch> batches;
+  std::size_t total = 0;  ///< dataset size = sum of batch sizes
+};
+
+/// Gathers `dataset` into evaluation batches of `batch_size` (0 = one
+/// batch of everything).  Throws on an empty dataset.
+EvalPlan make_eval_plan(const data::Dataset& dataset, std::size_t batch_size);
+
+/// Evaluates `model` (with `weights` loaded) over a pre-gathered plan.
+/// Leaves `weights` loaded in the model.  Repeated calls against the same
+/// model reuse its layer scratch (im2col columns, packed weight panels),
+/// so steady-state evaluation allocates only activations.
+Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
+                    const EvalPlan& plan);
+
 /// Evaluates `model` (with `weights` loaded) on `dataset`, batched to bound
-/// peak memory.  Leaves `weights` loaded in the model.
+/// peak memory.  Leaves `weights` loaded in the model.  Gathers the batches
+/// on every call; callers that evaluate repeatedly should build an
+/// EvalPlan once instead.
 Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
                     const data::Dataset& dataset, std::size_t batch_size = 256);
 
@@ -42,6 +67,11 @@ Evaluation evaluate(nn::Sequential& model, std::span<const float> weights,
 /// Requires replicas.size() == pool.worker_count(); with an inline pool
 /// (worker_count() == 0) it requires exactly one replica and degrades to
 /// the sequential path.
+Evaluation evaluate_parallel(std::span<nn::Sequential* const> replicas,
+                             std::span<const float> weights,
+                             const EvalPlan& plan, util::ThreadPool& pool);
+
+/// Dataset-gathering convenience over the plan-based overload above.
 Evaluation evaluate_parallel(std::span<nn::Sequential* const> replicas,
                              std::span<const float> weights,
                              const data::Dataset& dataset, std::size_t batch_size,

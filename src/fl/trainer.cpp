@@ -16,6 +16,7 @@
 #include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "tensor/ops.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -180,11 +181,22 @@ TrainingHistory FederatedTrainer::run() {
   const bool has_state = nn::state_count(model_) > 0;
 
   std::vector<float> global_weights = nn::extract_parameters(model_);
+  // Batched evaluation (docs/KERNELS.md): the test set is gathered into
+  // batch tensors once and reused every eval round — together with the
+  // persistent eval models above, steady-state evaluation re-derives no
+  // im2col columns' worth of batch data and repacks no weight panels
+  // beyond the per-eval weight load.
+  const EvalPlan eval_plan = make_eval_plan(test_, options_.eval_batch);
   TrainingHistory history;
   double cum_delay = 0.0;
   double cum_energy = 0.0;
   double cum_wasted_energy = 0.0;
   double best_accuracy = -1.0;
+  // Kernel scratch growths are exported as a per-round delta of the
+  // process-global counter (obs `kernel.scratch_reallocs`): after warm-up
+  // rounds the delta must sit at zero — the steady-state no-alloc audit,
+  // now visible in the metrics stream.
+  std::uint64_t scratch_reported = tensor::scratch_realloc_count();
 
   // Checkpoint resume (DESIGN.md §11).  Parse-then-commit: every check and
   // every throwing parse happens before the first durable mutation, so a
@@ -794,7 +806,7 @@ TrainingHistory FederatedTrainer::run() {
                                 static_cast<std::int64_t>(round));
       Evaluation eval;
       if (pool.worker_count() == 0) {
-        eval = evaluate(model_, global_weights, test_, options_.eval_batch);
+        eval = evaluate(model_, global_weights, eval_plan);
       } else {
         if (has_state) {
           const std::vector<float> eval_state = nn::extract_state(model_);
@@ -802,8 +814,7 @@ TrainingHistory FederatedTrainer::run() {
             nn::load_state(*replica, eval_state);
           }
         }
-        eval = evaluate_parallel(eval_models, global_weights, test_,
-                                 options_.eval_batch, pool);
+        eval = evaluate_parallel(eval_models, global_weights, eval_plan, pool);
       }
       record.evaluated = true;
       record.test_loss = eval.loss;
@@ -823,6 +834,9 @@ TrainingHistory FederatedTrainer::run() {
       registry->add("uploads.failed", upload_failure_count);
       registry->add("uploads.retries", retry_count);
       if (!quorum_met) registry->add("rounds.quorum_failed");
+      const std::uint64_t scratch_now = tensor::scratch_realloc_count();
+      registry->add("kernel.scratch_reallocs", scratch_now - scratch_reported);
+      scratch_reported = scratch_now;
       registry->set_gauge("delay.cum_s", cum_delay);
       registry->set_gauge("energy.cum_j", cum_energy);
       registry->set_gauge("energy.wasted_cum_j", cum_wasted_energy);

@@ -163,15 +163,27 @@ Tensor Conv2D::forward(const Tensor& input, bool training) {
   tensor::detail::ensure_scratch(col_, ckk * hw);
   const float* in = input.data().data();
   float* out = output.data().data();
+  // The weight acts as the [out_ch, ckk] left operand of every sample's
+  // GEMM; pack its panels once per weight mutation instead of per sample.
+  // Packed and unpacked paths produce identical bits (ops.h).
+  const bool prepack = tensor::weight_prepack_enabled();
+  if (prepack && !packed_.is_a(out_channels_, ckk)) {
+    packed_.pack_a(out_channels_, ckk, weight_.data());
+  }
   // Per sample: out[n] = W[out_ch, ckk] * col[ckk, hw] + bias (fused).
   for (std::size_t n = 0; n < batch; ++n) {
     im2col(in + n * in_channels_ * h_in * w_in, h_in, w_in, h_out, w_out,
            col_.data());
-    tensor::gemm_bias_rows(out_channels_, ckk, hw, weight_.data(),
-                           std::span<const float>(col_.data(), ckk * hw),
-                           bias_.data(),
-                           std::span<float>(out + n * out_channels_ * hw,
-                                            out_channels_ * hw));
+    const std::span<const float> col_n(col_.data(), ckk * hw);
+    const std::span<float> out_n(out + n * out_channels_ * hw,
+                                 out_channels_ * hw);
+    if (prepack) {
+      tensor::gemm_bias_rows(out_channels_, ckk, hw, packed_, col_n,
+                             bias_.data(), out_n);
+    } else {
+      tensor::gemm_bias_rows(out_channels_, ckk, hw, weight_.data(), col_n,
+                             bias_.data(), out_n);
+    }
   }
   if (training) cached_input_ = input;
   return output;
@@ -224,7 +236,8 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
 }
 
 std::vector<ParamRef> Conv2D::params() {
-  return {{weight_.data(), grad_weight_.data()}, {bias_.data(), grad_bias_.data()}};
+  return {{weight_.data(), grad_weight_.data(), this},
+          {bias_.data(), grad_bias_.data(), this}};
 }
 
 std::string Conv2D::name() const {

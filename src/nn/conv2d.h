@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "tensor/ops.h"
 
 namespace helcfl::util {
 class Rng;
@@ -33,6 +34,7 @@ class Conv2D : public Layer {
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
+  void mark_weights_dirty() override { packed_.invalidate(); }
   std::string name() const override;
 
   std::size_t in_channels() const { return in_channels_; }
@@ -68,6 +70,10 @@ class Conv2D : public Layer {
   // (tensor::scratch_realloc_count() audits steady-state behaviour).
   std::vector<float> col_;       // im2col panel [in*k*k, h_out*w_out]
   std::vector<float> col_grad_;  // backward column gradients, same extent
+  // Weight panels [out_ch, in*k*k] in the kernel's layout, repacked lazily
+  // after every weight mutation (Layer::mark_weights_dirty) and reused
+  // across samples, batches, and clients.
+  tensor::PackedWeights packed_;
 };
 
 }  // namespace helcfl::nn

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "nn/layer.h"
+#include "tensor/ops.h"
 
 namespace helcfl::util {
 class Rng;
@@ -23,6 +24,7 @@ class Dense : public Layer {
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
+  void mark_weights_dirty() override { packed_.invalidate(); }
   std::string name() const override;
 
   std::size_t in_features() const { return in_features_; }
@@ -36,6 +38,10 @@ class Dense : public Layer {
   tensor::Tensor grad_weight_;  // [out, in]
   tensor::Tensor grad_bias_;    // [out]
   tensor::Tensor cached_input_;  // [batch, in], training forward only
+  // Weight panels in the kernel's layout, repacked lazily after every
+  // weight mutation (see Layer::mark_weights_dirty) and reused across
+  // forwards — the FedAvg global model forwards N clients per pack.
+  tensor::PackedWeights packed_;
 };
 
 }  // namespace helcfl::nn

@@ -34,6 +34,11 @@ void Sgd::step(const std::vector<ParamRef>& params) {
       value[j] -= options_.learning_rate * g;
     }
   }
+  // The step rewrote parameter storage behind the owning layers' backs;
+  // invalidate their prepacked weight panels (nn/layer.h contract).
+  for (const auto& p : params) {
+    if (p.owner != nullptr) p.owner->mark_weights_dirty();
+  }
 }
 
 void Sgd::reset_state() { velocity_.clear(); }
@@ -79,6 +84,9 @@ void Adam::step(const std::vector<ParamRef>& params) {
       value[j] -= static_cast<float>(options_.learning_rate * m_hat /
                                      (std::sqrt(v_hat) + options_.epsilon));
     }
+  }
+  for (const auto& p : params) {
+    if (p.owner != nullptr) p.owner->mark_weights_dirty();
   }
 }
 

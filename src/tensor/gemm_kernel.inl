@@ -1,7 +1,11 @@
 // Blocked GEMM driver, included once per instruction-set TU.
 //
 // The including .cpp must define:
-//   HELCFL_KERNEL_FN  — name of the driver function to emit
+//   HELCFL_KERNEL_FN         — name of the driver function to emit
+//   HELCFL_KERNEL_PACK_A_FN  — name of the full-matrix A-pack function
+//   HELCFL_KERNEL_PACK_B_FN  — name of the full-matrix B-pack function
+//   HELCFL_KERNEL_VTABLE_FN  — name of the KernelVTable accessor
+//   HELCFL_KERNEL_ISA_NAME   — string literal reported as the ISA name
 //   HELCFL_KERNEL_MR  — micro-tile rows (accumulator rows held in registers)
 //   HELCFL_KERNEL_NR  — micro-tile columns (must span >= one SIMD vector)
 //   HELCFL_KERNEL_VW  — SIMD vector width in floats (divides NR)
@@ -13,7 +17,12 @@
 //   * A and B are packed into zero-padded panels so the micro-kernel always
 //     runs full kMr x kNr tiles with unit-stride loads — the packing
 //     routines absorb both transposes, so all four public GEMM variants
-//     share this one inner loop.
+//     share this one inner loop.  Callers that reuse one operand across
+//     many products can pass prepacked full-matrix panels (GemmArgs
+//     packed_a/packed_b, produced by the PACK functions below); the driver
+//     then skips its own per-block packing for that operand.  Packing is a
+//     pure data rearrangement, so prepacked and freshly packed runs produce
+//     identical bits.
 //   * The micro-kernel holds its accumulator tile in GCC/Clang portable
 //     vector types (__attribute__((vector_size))) — element-wise IEEE
 //     arithmetic the compiler lowers to whatever SIMD the TU's -m flags
@@ -26,6 +35,12 @@
 //     k-block, k-blocks folded into C in ascending order.  For fixed shapes
 //     the reduction order is fixed, so results are bitwise deterministic
 //     for a given kernel (thread count and tracing never change it).
+//   * Row sharding: the driver computes only C rows in
+//     [row_begin, row_end) (0,0 = all), walking them in the same kMc blocks
+//     a full-matrix call would use when the range starts on a kMc boundary
+//     — which run_gemm() guarantees by partitioning at mc granularity.
+//     Every element's reduction runs entirely on one thread in the same
+//     ascending-k order, so sharded and unsharded runs are bitwise equal.
 //   * Packing panels live in thread_local buffers that only ever grow
 //     (ensure_scratch), so steady-state calls are allocation-free and
 //     worker threads never share scratch.
@@ -44,6 +59,8 @@ constexpr std::size_t kMr = HELCFL_KERNEL_MR;
 constexpr std::size_t kNr = HELCFL_KERNEL_NR;
 constexpr std::size_t kKc = 256;  // k-block: B panel = kKc*kNr floats (L1)
 constexpr std::size_t kMc = 96;   // m-block: packed A = kMc*kKc floats (L2)
+// Prepacked-A addressing assumes every kMc row block holds whole panels.
+static_assert(kMc % kMr == 0, "MR must divide the m cache block");
 
 struct PackBuffers {
   std::vector<float> a;
@@ -151,11 +168,13 @@ inline void micro_kernel(std::size_t kc, const float* __restrict__ ap,
 }  // namespace
 
 void HELCFL_KERNEL_FN(const GemmArgs& g) {
-  if (g.m == 0 || g.n == 0) return;
+  const std::size_t rb = std::min(g.row_begin, g.m);
+  const std::size_t re = g.row_end == 0 ? g.m : std::min(g.row_end, g.m);
+  if (rb >= re || g.n == 0) return;
   if (g.k == 0) {
     // No products: honour the store semantics (C = bias or 0) and leave.
     if (g.accumulate) return;
-    for (std::size_t i = 0; i < g.m; ++i) {
+    for (std::size_t i = rb; i < re; ++i) {
       float* row = g.c + i * g.n;
       for (std::size_t j = 0; j < g.n; ++j) {
         row[j] = g.bias == nullptr ? 0.0F
@@ -167,24 +186,42 @@ void HELCFL_KERNEL_FN(const GemmArgs& g) {
 
   PackBuffers& bufs = pack_buffers();
   const std::size_t n_panels = (g.n + kNr - 1) / kNr;
-  const std::size_t m_panels = (std::min(g.m, kMc) + kMr - 1) / kMr;
-  ensure_scratch(bufs.b, n_panels * kKc * kNr);
-  ensure_scratch(bufs.a, m_panels * kKc * kMr);
+  // Full-matrix panel count: the stride of one k-block in a prepacked A.
+  const std::size_t a_panels = (g.m + kMr - 1) / kMr;
+  if (g.packed_b == nullptr) ensure_scratch(bufs.b, n_panels * kKc * kNr);
+  if (g.packed_a == nullptr) {
+    const std::size_t m_panels = (std::min(re - rb, kMc) + kMr - 1) / kMr;
+    ensure_scratch(bufs.a, m_panels * kKc * kMr);
+  }
 
   for (std::size_t kb = 0; kb < g.k; kb += kKc) {
     const std::size_t kc = std::min(kKc, g.k - kb);
-    pack_b_block(g, kb, kc, bufs.b.data());
+    const float* bbase;
+    if (g.packed_b != nullptr) {
+      // k-block kb of the prepacked B starts after kb full rows of panels.
+      bbase = g.packed_b + n_panels * kNr * kb;
+    } else {
+      pack_b_block(g, kb, kc, bufs.b.data());
+      bbase = bufs.b.data();
+    }
     // First k-block overwrites C (fusing the bias); later blocks add.
     const bool first = kb == 0 && !g.accumulate;
-    for (std::size_t mb = 0; mb < g.m; mb += kMc) {
-      const std::size_t mc = std::min(kMc, g.m - mb);
-      pack_a_block(g, mb, mc, kb, kc, bufs.a.data());
+    for (std::size_t mb = rb; mb < re; mb += kMc) {
+      const std::size_t mc = std::min(kMc, re - mb);
+      const float* abase;
+      if (g.packed_a != nullptr) {
+        // Needs mb % kMr == 0 — holds whenever row_begin is kMc-aligned.
+        abase = g.packed_a + a_panels * kMr * kb + (mb / kMr) * kc * kMr;
+      } else {
+        pack_a_block(g, mb, mc, kb, kc, bufs.a.data());
+        abase = bufs.a.data();
+      }
       for (std::size_t j0 = 0; j0 < g.n; j0 += kNr) {
         const std::size_t nr = std::min(kNr, g.n - j0);
-        const float* bp = bufs.b.data() + (j0 / kNr) * kc * kNr;
+        const float* bp = bbase + (j0 / kNr) * kc * kNr;
         for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
           const std::size_t mr = std::min(kMr, mc - i0);
-          const float* ap = bufs.a.data() + (i0 / kMr) * kc * kMr;
+          const float* ap = abase + (i0 / kMr) * kc * kMr;
           float acc[kMr * kNr];
           micro_kernel(kc, ap, bp, acc);
           for (std::size_t ii = 0; ii < mr; ++ii) {
@@ -209,6 +246,35 @@ void HELCFL_KERNEL_FN(const GemmArgs& g) {
       }
     }
   }
+}
+
+/// Packs all of op(A) into `dst` (capacity packed_a_size(vt, m, k)): the
+/// same k-block/panel layout the driver builds incrementally, so the driver
+/// can index any (kb, mb) block directly.  Uses only m/k/a/trans_a of `g`.
+void HELCFL_KERNEL_PACK_A_FN(const GemmArgs& g, float* dst) {
+  const std::size_t a_panels = (g.m + kMr - 1) / kMr;
+  for (std::size_t kb = 0; kb < g.k; kb += kKc) {
+    const std::size_t kc = std::min(kKc, g.k - kb);
+    pack_a_block(g, 0, g.m, kb, kc, dst + a_panels * kMr * kb);
+  }
+}
+
+/// Packs all of op(B) into `dst` (capacity packed_b_size(vt, k, n)).
+/// Uses only k/n/b/trans_b of `g`.
+void HELCFL_KERNEL_PACK_B_FN(const GemmArgs& g, float* dst) {
+  const std::size_t n_panels = (g.n + kNr - 1) / kNr;
+  for (std::size_t kb = 0; kb < g.k; kb += kKc) {
+    const std::size_t kc = std::min(kKc, g.k - kb);
+    pack_b_block(g, kb, kc, dst + n_panels * kNr * kb);
+  }
+}
+
+const KernelVTable& HELCFL_KERNEL_VTABLE_FN() {
+  static constexpr KernelVTable vtable{
+      &HELCFL_KERNEL_FN, &HELCFL_KERNEL_PACK_A_FN, &HELCFL_KERNEL_PACK_B_FN,
+      kMr,               kNr,                      kMc,
+      kKc,               HELCFL_KERNEL_ISA_NAME};
+  return vtable;
 }
 
 }  // namespace helcfl::tensor::detail

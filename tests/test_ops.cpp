@@ -285,7 +285,7 @@ TEST(OpsKernel, KZeroOverwritesWithZeroOrBias) {
 
 TEST(OpsKernel, KernelIsaIsReported) {
   const std::string_view isa = kernel_isa();
-  EXPECT_TRUE(isa == "generic" || isa == "avx2_fma") << isa;
+  EXPECT_TRUE(isa == "generic" || isa == "avx2_fma" || isa == "avx512") << isa;
 }
 
 TEST(OpsKernel, ScratchIsReusedInSteadyState) {
