@@ -14,6 +14,8 @@
 //              [--churn-leave=F] [--churn-rejoin=F]
 //              [--max-retries=N] [--retry-backoff-s=F]
 //              [--straggler-cutoff-s=F] [--min-clients=N]
+//              [--mode=sync|async] [--buffer-k=N]
+//              [--staleness-beta=F] [--staleness-bound=N]
 //              [--threads=N] [--kernel-threads=N] [--csv=path] [--quiet]
 //              [--trace-out=path] [--trace-level=round|decision|debug]
 //              [--profile] [--chrome-trace=path]
@@ -37,6 +39,13 @@
 // end-of-run phase-timing and counter tables; --chrome-trace writes the
 // phase spans as a chrome://tracing JSON.  Tracing never perturbs the run:
 // the model trajectory is bitwise identical with or without these flags.
+//
+// Round engine (docs/ASYNC.md): --mode=async replaces the round barrier
+// with event-driven FedBuff aggregation — the server integrates the first
+// --buffer-k arrivals (0 = the first cohort's size), each discounted by
+// 1/(1+staleness)^beta (--staleness-beta), dropping arrivals staler than
+// --staleness-bound server steps (0 = keep every arrival).  --mode=sync
+// (the default) is bitwise identical to the classic barrier engine.
 //
 // Checkpoint/resume (docs/CHECKPOINT.md): --checkpoint-every=N saves a
 // snapshot every N completed rounds to --checkpoint-path (default
@@ -316,6 +325,14 @@ int main(int argc, char** argv) {
     if (cutoff_s > 0.0) config.trainer.straggler_cutoff_s = cutoff_s;
     config.trainer.min_clients =
         static_cast<std::size_t>(args.get_int_or("min-clients", 1));
+    // Round engine (docs/ASYNC.md): --mode=async drops the round barrier
+    // for FedBuff-style buffered aggregation.
+    config.async.mode = fl::parse_async_mode(args.get_or("mode", "sync"));
+    config.async.buffer_k =
+        static_cast<std::size_t>(args.get_int_or("buffer-k", 0));
+    config.async.staleness_beta = args.get_double_or("staleness-beta", 0.5);
+    config.async.staleness_bound =
+        static_cast<std::size_t>(args.get_int_or("staleness-bound", 0));
     const std::int64_t threads = args.get_int_or("threads", 0);
     if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
     config.trainer.num_threads = static_cast<std::size_t>(threads);

@@ -98,6 +98,8 @@ std::vector<std::uint8_t> Checkpoint::serialize() const {
   payload.vec_u8(fading_state);
   payload.boolean(batteries_enabled);
   payload.vec_u8(battery_state);
+  payload.boolean(async_enabled);
+  payload.vec_u8(async_state);
   payload.u64(records.size());
   for (const RoundRecord& record : records) write_record(payload, record);
 
@@ -170,6 +172,8 @@ Checkpoint Checkpoint::deserialize(std::span<const std::uint8_t> bytes) {
     ckpt.fading_state = payload.vec_u8();
     ckpt.batteries_enabled = payload.boolean();
     ckpt.battery_state = payload.vec_u8();
+    ckpt.async_enabled = payload.boolean();
+    ckpt.async_state = payload.vec_u8();
     const std::uint64_t n_records = payload.u64();
     // A checksum-valid but adversarial (or version-confused) file can still
     // declare an absurd record count; bound it by what the remaining bytes

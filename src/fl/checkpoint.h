@@ -56,7 +56,11 @@ struct Checkpoint {
   static constexpr std::uint32_t kMagic = 0x504b4348;  ///< "HCKP" read LE
   /// v2: the HELCFL strategy payload gained the utility-index frame
   /// (initialized flag + delay cache) after the appearance counters.
-  static constexpr std::uint32_t kVersion = 2;
+  /// v3: the payload gained the async-engine frame (async_enabled +
+  /// async_state) between the battery state and the round records — the
+  /// event queue, in-flight clients, and aggregation buffer of a mid-flight
+  /// fl::AsyncTrainer snapshot (DESIGN.md §16, docs/ASYNC.md).
+  static constexpr std::uint32_t kVersion = 3;
 
   // --- identity: rejected on mismatch at resume ---
   std::uint64_t seed = 0;       ///< TrainerOptions::seed of the saved run
@@ -85,6 +89,16 @@ struct Checkpoint {
   std::vector<std::uint8_t> fading_state;    ///< FadingProcess::save_state
   bool batteries_enabled = false;
   std::vector<std::uint8_t> battery_state;   ///< BatteryFleet::save_state
+
+  // --- async engine (v3; DESIGN.md §16) ---
+  /// True iff this snapshot was written by fl::AsyncTrainer in async mode.
+  /// A sync run (FederatedTrainer, or AsyncTrainer degenerating to it)
+  /// writes false with an empty async_state; resuming a snapshot into the
+  /// wrong engine mode is rejected before any mutation.
+  bool async_enabled = false;
+  /// AsyncTrainer's mid-flight frame: event queue, global clock, uplink
+  /// cursor, in-flight client outcomes, and the partial aggregation buffer.
+  std::vector<std::uint8_t> async_state;
 
   // --- accumulated metrics: replayed so the resumed CSV is byte-identical ---
   std::vector<RoundRecord> records;

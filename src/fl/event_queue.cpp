@@ -1,0 +1,127 @@
+#include "fl/event_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace helcfl::fl {
+
+namespace {
+
+/// Heap comparator: std::push_heap keeps the *largest* element first, so
+/// "a sorts later than b" puts the earliest event on top.
+bool later(const Event& a, const Event& b) { return b.before(a); }
+
+}  // namespace
+
+std::uint64_t EventQueue::push(double time_s, EventKind kind, std::uint64_t user,
+                               std::uint64_t tag, double value) {
+  if (!std::isfinite(time_s) || time_s < 0.0) {
+    throw std::invalid_argument(
+        "EventQueue::push: time_s = " + std::to_string(time_s) +
+        " must be finite and non-negative (a NaN or infinite timestamp would "
+        "break the queue's total order)");
+  }
+  Event event;
+  event.time_s = time_s;
+  event.seq = next_seq_++;
+  event.kind = kind;
+  event.user = user;
+  event.tag = tag;
+  event.value = value;
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return event.seq;
+}
+
+const Event& EventQueue::top() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::top: queue is empty");
+  return heap_.front();
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: queue is empty");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Event event = heap_.back();
+  heap_.pop_back();
+  return event;
+}
+
+std::vector<Event> EventQueue::sorted_events() const {
+  std::vector<Event> events = heap_;
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.before(b); });
+  return events;
+}
+
+void EventQueue::save_state(util::ByteWriter& out) const {
+  out.u64(next_seq_);
+  const std::vector<Event> events = sorted_events();
+  out.u64(static_cast<std::uint64_t>(events.size()));
+  for (const Event& event : events) {
+    out.f64(event.time_s);
+    out.u64(event.seq);
+    out.u8(static_cast<std::uint8_t>(event.kind));
+    out.u64(event.user);
+    out.u64(event.tag);
+    out.f64(event.value);
+  }
+}
+
+void EventQueue::load_state(util::ByteReader& in) {
+  // Parse and validate everything into locals first; commit at the end.
+  const std::uint64_t next_seq = in.u64();
+  const std::uint64_t count = in.u64();
+  // One serialized event is 8+8+1+8+8+8 = 41 bytes; bound an adversarial
+  // count by what the remaining bytes could possibly encode.
+  constexpr std::size_t kEventBytes = 41;
+  if (count > in.remaining() / kEventBytes) {
+    throw util::SerialError(
+        "EventQueue: frame declares " + std::to_string(count) +
+        " events but only " + std::to_string(in.remaining()) +
+        " byte(s) remain — corrupted or malformed");
+  }
+  std::vector<Event> events;
+  events.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Event event;
+    event.time_s = in.f64();
+    event.seq = in.u64();
+    const std::uint8_t kind = in.u8();
+    if (kind >= kEventKindCount) {
+      throw util::SerialError("EventQueue: event " + std::to_string(i) +
+                              " has invalid kind " + std::to_string(kind));
+    }
+    event.kind = static_cast<EventKind>(kind);
+    event.user = in.u64();
+    event.tag = in.u64();
+    event.value = in.f64();
+    if (!std::isfinite(event.time_s) || event.time_s < 0.0) {
+      throw util::SerialError(
+          "EventQueue: event " + std::to_string(i) +
+          " has a non-finite or negative timestamp — corrupted frame");
+    }
+    if (event.seq >= next_seq) {
+      throw util::SerialError(
+          "EventQueue: event " + std::to_string(i) + " carries seq " +
+          std::to_string(event.seq) + " >= next_seq " +
+          std::to_string(next_seq) + " — corrupted frame");
+    }
+    // Canonical frames are strictly increasing in (time, seq); this also
+    // proves every seq is unique.
+    if (!events.empty() && !events.back().before(event)) {
+      throw util::SerialError(
+          "EventQueue: events " + std::to_string(i - 1) + " and " +
+          std::to_string(i) +
+          " are out of canonical (time, seq) order — corrupted frame");
+    }
+    events.push_back(event);
+  }
+
+  heap_ = std::move(events);
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  next_seq_ = next_seq;
+}
+
+}  // namespace helcfl::fl

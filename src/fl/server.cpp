@@ -1,5 +1,6 @@
 #include "fl/server.h"
 
+#include <cmath>
 #include <future>
 #include <stdexcept>
 
@@ -26,6 +27,42 @@ std::vector<float> fedavg(std::span<const WeightedModel> uploads) {
   std::vector<double> accumulator(dim, 0.0);
   for (const auto& upload : uploads) {
     const double w = static_cast<double>(upload.num_samples) / total_samples;
+    for (std::size_t i = 0; i < dim; ++i) {
+      accumulator[i] += w * static_cast<double>(upload.weights[i]);
+    }
+  }
+  std::vector<float> result(dim);
+  for (std::size_t i = 0; i < dim; ++i) result[i] = static_cast<float>(accumulator[i]);
+  return result;
+}
+
+std::vector<float> fedavg_discounted(std::span<const DiscountedModel> uploads) {
+  if (uploads.empty()) throw std::invalid_argument("fedavg_discounted: no uploads");
+  const std::size_t dim = uploads.front().weights.size();
+  double total_weight = 0.0;
+  for (const auto& upload : uploads) {
+    if (upload.weights.size() != dim) {
+      throw std::invalid_argument("fedavg_discounted: weight dimension mismatch");
+    }
+    if (!std::isfinite(upload.discount) || upload.discount < 0.0) {
+      throw std::invalid_argument(
+          "fedavg_discounted: discount must be finite and non-negative");
+    }
+    total_weight += static_cast<double>(upload.num_samples) * upload.discount;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument(
+        "fedavg_discounted: total discounted weight must be positive (every "
+        "buffered update was discounted or sampled to zero)");
+  }
+
+  // Same double-accumulation order as fedavg(): with all discounts == 1 the
+  // per-upload weight is num_samples * 1.0 — the identical double — so the
+  // two functions agree bitwise (the sync-equivalence contract).
+  std::vector<double> accumulator(dim, 0.0);
+  for (const auto& upload : uploads) {
+    const double w =
+        static_cast<double>(upload.num_samples) * upload.discount / total_weight;
     for (std::size_t i = 0; i < dim; ++i) {
       accumulator[i] += w * static_cast<double>(upload.weights[i]);
     }

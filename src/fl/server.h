@@ -23,6 +23,25 @@ struct WeightedModel {
 /// must be positive.
 std::vector<float> fedavg(std::span<const WeightedModel> uploads);
 
+/// One buffered async arrival entering a staleness-discounted aggregation
+/// (docs/ASYNC.md): the model a client trained `staleness` server steps ago,
+/// weighed down by `discount` = 1 / (1 + staleness)^β.
+struct DiscountedModel {
+  std::span<const float> weights;
+  std::size_t num_samples = 0;
+  double discount = 1.0;  ///< in (0, 1]; 1 = a perfectly fresh update
+};
+
+/// FedBuff-style staleness-discounted FedAvg: each upload weighs
+/// num_samples * discount.  With every discount == 1 the arithmetic
+/// degenerates bitwise to fedavg() (identical doubles in identical order) —
+/// the sync-equivalence contract of docs/ASYNC.md.  All weight vectors must
+/// have equal length, every discount must be finite and non-negative, and
+/// the *total* discounted weight must be positive: a buffer whose every
+/// entry has been discounted to zero cannot define an average (the
+/// division-by-zero guard the zero-survivor property tests exercise).
+std::vector<float> fedavg_discounted(std::span<const DiscountedModel> uploads);
+
 /// Evaluation result of a model on a dataset.
 struct Evaluation {
   double loss = 0.0;

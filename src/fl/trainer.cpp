@@ -245,6 +245,12 @@ TrainingHistory FederatedTrainer::run() {
           ", this trainer has them " +
           std::string(batteries_enabled ? "enabled" : "disabled"));
     }
+    if (ckpt.async_enabled) {
+      throw CheckpointError(
+          "'" + options_.resume_from +
+          "': saved mid-flight by the async engine; resume it with an "
+          "async-mode fl::AsyncTrainer (docs/ASYNC.md)");
+    }
     mec::BatteryFleet restored_batteries;
     try {
       // Run-local cursors first (reconstructed on every run(), so partial

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "data/synthetic_cifar.h"
+#include "fl/async_trainer.h"
 #include "fl/trainer.h"
 #include "nn/models.h"
 
@@ -66,6 +67,10 @@ struct ExperimentConfig {
 
   // --- training loop ---
   fl::TrainerOptions trainer;      ///< rounds, lr, C_model, deadline, ...
+  /// Round engine: sync (default; FederatedTrainer's barrier loop) or the
+  /// event-driven FedBuff engine of fl::AsyncTrainer (docs/ASYNC.md).
+  /// Ignored by the SL scheme, which has no server rounds.
+  fl::AsyncOptions async;
   std::size_t sl_eval_every = 10;  ///< SL evaluates Q models: keep sparse
   std::size_t sl_eval_users = 20;
 

@@ -151,9 +151,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         static_cast<sched::FedCsSelection&>(*strategy).deadline_s();
   }
 
-  fl::FederatedTrainer trainer(*model, split.train, split.test, partition, devices,
-                               channel, *strategy, trainer_options);
-  result.history = trainer.run();
+  if (config.async.mode == fl::AsyncOptions::Mode::kAsync) {
+    fl::AsyncTrainer trainer(*model, split.train, split.test, partition, devices,
+                             channel, *strategy, trainer_options, config.async);
+    result.history = trainer.run();
+  } else {
+    fl::FederatedTrainer trainer(*model, split.train, split.test, partition,
+                                 devices, channel, *strategy, trainer_options);
+    result.history = trainer.run();
+  }
   result.final_weights = nn::extract_parameters(*model);
   return result;
 }

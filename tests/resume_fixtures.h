@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/helcfl_scheduler.h"
+#include "fl/async_trainer.h"
 #include "fl/metrics.h"
 #include "fl/trainer.h"
 #include "fl_fixtures.h"
@@ -159,6 +160,38 @@ inline ResumeRun run_resume_case(const ResumeWorld& world,
   fl::FederatedTrainer trainer(*model, world.split.train, world.split.test,
                                world.partition, world.devices, paper_channel(),
                                *strategy, options);
+  ResumeRun run;
+  run.history = trainer.run();
+  run.final_weights = nn::extract_parameters(*model);
+  tracer.flush();
+  run.trace = raw_stream->str();
+  return run;
+}
+
+/// run_resume_case's sibling for the async engine (DESIGN.md §16):
+/// identical model / strategy / tracer construction, but drives
+/// fl::AsyncTrainer with the given engine options.  With a default
+/// AsyncOptions (mode = kSync) the output must be bitwise identical to
+/// run_resume_case — tests/test_async_differential.cpp enforces exactly
+/// that.
+inline ResumeRun run_async_case(const ResumeWorld& world,
+                                const std::string& strategy_name,
+                                fl::TrainerOptions options,
+                                fl::AsyncOptions async) {
+  util::Rng model_rng(92);
+  const std::unique_ptr<nn::Sequential> model = nn::make_model(
+      nn::ModelKind::kLogistic, world.split.train.spec(), 10, model_rng);
+  const std::unique_ptr<sched::SelectionStrategy> strategy =
+      make_resume_strategy(strategy_name);
+
+  auto stream = std::make_unique<std::ostringstream>();
+  std::ostringstream* raw_stream = stream.get();
+  obs::Tracer tracer(std::move(stream), obs::TraceLevel::kDecision);
+  options.obs.tracer = &tracer;
+
+  fl::AsyncTrainer trainer(*model, world.split.train, world.split.test,
+                           world.partition, world.devices, paper_channel(),
+                           *strategy, options, async);
   ResumeRun run;
   run.history = trainer.run();
   run.final_weights = nn::extract_parameters(*model);

@@ -4,18 +4,26 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <set>
+#include <string>
 
 #include "core/dvfs.h"
 #include "core/greedy_decay_selection.h"
+#include "core/helcfl_scheduler.h"
 #include "data/partition.h"
 #include "mec/battery.h"
 #include "nn/compression.h"
+#include "nn/models.h"
+#include "nn/serialize.h"
 #include "fl/server.h"
+#include "fl/trainer.h"
 #include "mec/cost_model.h"
 #include "mec/tdma.h"
 #include "sched/scheduler.h"
 #include "fl_fixtures.h"
+#include "resume_fixtures.h"
 #include "util/rng.h"
 
 namespace helcfl {
@@ -211,6 +219,172 @@ TEST_P(FedAvgProperty, IdenticalUploadsAreFixedPoint) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FedAvgProperty, ::testing::Range<std::uint64_t>(1, 16));
+
+// --- Staleness-discounted FedAvg (docs/ASYNC.md) -----------------------------
+
+class FedAvgDiscountedProperty : public SeededProperty {};
+
+TEST_P(FedAvgDiscountedProperty, UnitDiscountDegeneratesToFedAvgBitwise) {
+  // discount == 1.0 for every upload must reproduce fedavg() *bitwise*:
+  // x * 1.0 is x in IEEE-754 and the accumulation order is identical.  This
+  // is the arithmetic half of the sync-equivalence contract.
+  util::Rng r = rng();
+  const std::size_t dim = 1 + static_cast<std::size_t>(r.uniform_int(0, 40));
+  const std::size_t k = 1 + static_cast<std::size_t>(r.uniform_int(0, 7));
+  std::vector<std::vector<float>> weights(k, std::vector<float>(dim));
+  std::vector<fl::WeightedModel> plain;
+  std::vector<fl::DiscountedModel> discounted;
+  for (std::size_t j = 0; j < k; ++j) {
+    for (auto& w : weights[j]) w = static_cast<float>(r.normal());
+    const std::size_t count = 1 + static_cast<std::size_t>(r.uniform_int(0, 99));
+    plain.push_back({weights[j], count});
+    discounted.push_back({weights[j], count, 1.0});
+  }
+  EXPECT_EQ(fl::fedavg_discounted(discounted), fl::fedavg(plain));
+}
+
+TEST_P(FedAvgDiscountedProperty, AverageIsWithinComponentwiseHull) {
+  // Any positive discounts: still a convex combination per component.
+  util::Rng r = rng();
+  const std::size_t dim = 1 + static_cast<std::size_t>(r.uniform_int(0, 30));
+  const std::size_t k = 1 + static_cast<std::size_t>(r.uniform_int(0, 7));
+  std::vector<std::vector<float>> weights(k, std::vector<float>(dim));
+  std::vector<fl::DiscountedModel> uploads;
+  for (std::size_t j = 0; j < k; ++j) {
+    for (auto& w : weights[j]) w = static_cast<float>(r.normal());
+    uploads.push_back({weights[j],
+                       1 + static_cast<std::size_t>(r.uniform_int(0, 99)),
+                       r.uniform(0.01, 1.0)});
+  }
+  const std::vector<float> avg = fl::fedavg_discounted(uploads);
+  ASSERT_EQ(avg.size(), dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    float lo = weights[0][i];
+    float hi = weights[0][i];
+    for (std::size_t j = 1; j < k; ++j) {
+      lo = std::min(lo, weights[j][i]);
+      hi = std::max(hi, weights[j][i]);
+    }
+    EXPECT_GE(avg[i], lo - 1e-5F);
+    EXPECT_LE(avg[i], hi + 1e-5F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FedAvgDiscountedProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(FedAvgDiscountedValidation, DegenerateBuffersAreRejected) {
+  const std::vector<float> w = {1.0F, 2.0F};
+  const std::vector<float> short_w = {1.0F};
+  {  // Empty buffer.
+    EXPECT_THROW(fl::fedavg_discounted({}), std::invalid_argument);
+  }
+  {  // Dimension mismatch.
+    const std::vector<fl::DiscountedModel> uploads = {{w, 3, 1.0},
+                                                      {short_w, 3, 1.0}};
+    EXPECT_THROW(fl::fedavg_discounted(uploads), std::invalid_argument);
+  }
+  {  // Non-finite and negative discounts.
+    const std::vector<fl::DiscountedModel> nan_uploads = {
+        {w, 3, std::numeric_limits<double>::quiet_NaN()}};
+    EXPECT_THROW(fl::fedavg_discounted(nan_uploads), std::invalid_argument);
+    const std::vector<fl::DiscountedModel> neg_uploads = {{w, 3, -0.5}};
+    EXPECT_THROW(fl::fedavg_discounted(neg_uploads), std::invalid_argument);
+  }
+  {  // The division-by-zero guard: every entry discounted or sampled to
+     // zero leaves no mass to average.
+    const std::vector<fl::DiscountedModel> zero_discount = {{w, 3, 0.0},
+                                                            {w, 9, 0.0}};
+    EXPECT_THROW(fl::fedavg_discounted(zero_discount), std::invalid_argument);
+    const std::vector<fl::DiscountedModel> zero_samples = {{w, 0, 1.0},
+                                                           {w, 0, 0.7}};
+    EXPECT_THROW(fl::fedavg_discounted(zero_samples), std::invalid_argument);
+  }
+  {  // But any positive mass among zeros is fine (survivor defines it).
+    const std::vector<fl::DiscountedModel> one_alive = {{w, 3, 0.0},
+                                                        {w, 5, 0.25}};
+    EXPECT_EQ(fl::fedavg_discounted(one_alive), std::vector<float>(w));
+  }
+}
+
+// --- Zero-survivor rounds ----------------------------------------------------
+
+// A straggler cutoff tighter than every arrival drops the entire cohort:
+// every round fails its quorum with zero survivors, report_completion
+// receives an all-zero mask, and no aggregation (hence no division by a
+// zero total weight) is ever attempted.  The run must complete cleanly
+// with the global model untouched.
+TEST(ZeroSurvivorRound, CutoffDroppingEveryArrivalCompletesCleanly) {
+  const data::TrainTestSplit split = testing::tiny_split(48, 24, 90);
+  constexpr std::size_t kUsers = 6;
+  util::Rng partition_rng(91);
+  const data::Partition partition =
+      data::iid_partition(split.train.size(), kUsers, partition_rng);
+  std::vector<mec::Device> devices =
+      testing::linear_fleet(kUsers, partition[0].size());
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    devices[i].num_samples = partition[i].size();
+  }
+  util::Rng model_rng(92);
+  const std::unique_ptr<nn::Sequential> model = nn::make_model(
+      nn::ModelKind::kLogistic, split.train.spec(), 10, model_rng);
+  const std::vector<float> initial = nn::extract_parameters(*model);
+
+  core::HelcflScheduler strategy({.fraction = 0.5, .eta = 0.9});
+  fl::TrainerOptions options;
+  options.max_rounds = 3;
+  options.client.learning_rate = 0.1F;
+  options.client.local_steps = 1;
+  options.client.batch_size = 4;
+  options.model_size_bits = 4e6;
+  options.seed = 7;
+  options.straggler_cutoff_s = 1e-9;  // tighter than any compute+upload
+  options.min_clients = 1;
+
+  fl::FederatedTrainer trainer(*model, split.train, split.test, partition,
+                               devices, testing::paper_channel(), strategy,
+                               options);
+  const fl::TrainingHistory history = trainer.run();
+
+  ASSERT_EQ(history.size(), 3U);
+  for (const fl::RoundRecord& record : history.rounds()) {
+    EXPECT_FALSE(record.selected.empty());
+    EXPECT_EQ(record.survivors, 0U);
+    EXPECT_EQ(record.dropped_late, record.selected.size());
+    EXPECT_TRUE(record.quorum_failed);
+    EXPECT_TRUE(record.aggregated.empty());
+    // The cohort's energy was spent for nothing — and accounted as such.
+    EXPECT_GT(record.wasted_energy_j, 0.0);
+  }
+  // No aggregation ever ran: the global model is still the initial one.
+  EXPECT_EQ(nn::extract_parameters(*model), initial);
+  // The strategy absorbed three all-zero completion masks and still
+  // produces a well-formed next decision.
+  const auto users =
+      sched::build_user_info(devices, testing::paper_channel(), 4e6);
+  const sched::Decision next = strategy.decide({users}, 3);
+  EXPECT_EQ(next.selected.size(), sched::selection_count(kUsers, 0.5));
+}
+
+// Strategy-level contract: an all-zero completion mask must be accepted by
+// every stateful strategy without corrupting its later decisions.
+TEST(ZeroSurvivorRound, AllZeroCompletionMaskIsAbsorbedByStrategies) {
+  const auto users = testing::users_with_delays(
+      {{1.0, 0.3}, {2.0, 0.3}, {3.0, 0.3}, {4.0, 0.3}, {5.0, 0.3}, {6.0, 0.3}});
+  for (const std::string& name : testing::resume_strategies()) {
+    SCOPED_TRACE(name);
+    const auto strategy = testing::make_resume_strategy(name);
+    for (std::size_t round = 0; round < 4; ++round) {
+      const sched::Decision decision = strategy->decide({users}, round);
+      ASSERT_FALSE(decision.selected.empty());
+      const std::vector<std::uint8_t> none(decision.selected.size(), 0);
+      strategy->report_completion(round, decision, none);
+    }
+    const sched::Decision after = strategy->decide({users}, 4);
+    EXPECT_FALSE(after.selected.empty());
+    for (const std::size_t user : after.selected) EXPECT_LT(user, users.size());
+  }
+}
 
 // --- Partition properties ----------------------------------------------------
 
